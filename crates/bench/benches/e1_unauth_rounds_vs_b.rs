@@ -1,0 +1,44 @@
+//! E1 — Theorem 11: unauthenticated rounds follow `O(min{B/n + 1, f})`;
+//! messages stay near `n² log(·)`.
+
+use ba_bench::{run_checked, worst_case};
+use ba_workloads::{round_lower_bound, Pipeline, Table};
+
+fn main() {
+    let (n, t, f) = (40, 12, 10);
+    let mut table = Table::new(
+        &format!("E1: unauth rounds vs B (n={n}, t={t}, f={f}, worst-case adversary)"),
+        &["B", "B/n", "k_A", "rounds", "msgs", "msgs/n²", "LB(Thm13)"],
+    );
+    for budget in [0usize, 10, 20, 40, 80, 160, 320, 640] {
+        let cfg = worst_case(n, t, f, budget, Pipeline::Unauth);
+        let out = run_checked(&cfg);
+        let r = out.rounds.expect("checked");
+        table.row([
+            out.b_actual.to_string(),
+            (out.b_actual / n).to_string(),
+            out.k_a.to_string(),
+            r.to_string(),
+            out.messages.to_string(),
+            format!("{:.1}", out.messages as f64 / (n * n) as f64),
+            round_lower_bound(n, t, f, out.b_actual).to_string(),
+        ]);
+    }
+    table.print();
+
+    // f-sweep at saturated B: the min{·, f} arm.
+    let mut ftab = Table::new(
+        &format!("E1b: unauth rounds vs f (B saturated, n={n}, t={t})"),
+        &["f", "rounds", "msgs"],
+    );
+    for fx in [0usize, 1, 2, 4, 8, 12] {
+        let cfg = worst_case(n, t, fx, n * n, Pipeline::Unauth);
+        let out = run_checked(&cfg);
+        ftab.row([
+            fx.to_string(),
+            out.rounds.expect("checked").to_string(),
+            out.messages.to_string(),
+        ]);
+    }
+    ftab.print();
+}

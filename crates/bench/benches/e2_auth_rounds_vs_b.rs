@@ -1,0 +1,42 @@
+//! E2 — Theorem 12: authenticated rounds follow `O(min{B/n + 1, f})` for
+//! *all* `B` (the committee machinery keeps paying up to `B = Θ(n²)`),
+//! at `t` beyond `n/3`.
+
+use ba_bench::{run_checked, worst_case};
+use ba_workloads::{round_lower_bound, Pipeline, Table};
+
+fn main() {
+    let (n, t, f) = (40, 13, 12);
+    let mut table = Table::new(
+        &format!("E2: auth rounds vs B (n={n}, t={t} > n/3, f={f}, worst-case adversary)"),
+        &["B", "B/n", "k_A", "rounds", "msgs", "LB(Thm13)"],
+    );
+    for budget in [0usize, 10, 20, 40, 80, 160, 320, 640, 1280] {
+        let cfg = worst_case(n, t, f, budget, Pipeline::Auth);
+        let out = run_checked(&cfg);
+        table.row([
+            out.b_actual.to_string(),
+            (out.b_actual / n).to_string(),
+            out.k_a.to_string(),
+            out.rounds.expect("checked").to_string(),
+            out.messages.to_string(),
+            round_lower_bound(n, t, f, out.b_actual).to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut ftab = Table::new(
+        &format!("E2b: auth rounds vs f (B saturated, n={n}, t={t})"),
+        &["f", "rounds", "msgs"],
+    );
+    for fx in [0usize, 1, 2, 4, 8, 12] {
+        let cfg = worst_case(n, t, fx, n * n, Pipeline::Auth);
+        let out = run_checked(&cfg);
+        ftab.row([
+            fx.to_string(),
+            out.rounds.expect("checked").to_string(),
+            out.messages.to_string(),
+        ]);
+    }
+    ftab.print();
+}

@@ -1,0 +1,34 @@
+//! E3 — Theorem 13: the round lower bound
+//! `min{f+2, t+1, ⌊B/(n−f)⌋+2, ⌊B/(n−t)⌋+1}` versus measured rounds.
+//!
+//! The bound is worst-case existential; the check here is that measured
+//! worst-case rounds dominate the bound and track its shape (both grow
+//! with `B` until the `f` arm caps them).
+
+use ba_bench::{run_checked, worst_case};
+use ba_workloads::{round_lower_bound, Pipeline, Table};
+
+fn main() {
+    let (n, t, f) = (40, 13, 12);
+    let mut table = Table::new(
+        &format!("E3: measured rounds vs Theorem 13 bound (n={n}, t={t}, f={f}, auth)"),
+        &["B", "LB", "measured", "measured ≥ LB"],
+    );
+    let mut all_above = true;
+    for budget in [0usize, 40, 80, 160, 320, 640, 1600] {
+        let cfg = worst_case(n, t, f, budget, Pipeline::Auth);
+        let out = run_checked(&cfg);
+        let lb = round_lower_bound(n, t, f, out.b_actual);
+        let measured = out.rounds.expect("checked");
+        all_above &= measured >= lb;
+        table.row([
+            out.b_actual.to_string(),
+            lb.to_string(),
+            measured.to_string(),
+            (measured >= lb).to_string(),
+        ]);
+    }
+    table.print();
+    assert!(all_above, "an execution undercut the lower bound");
+    println!("All measured executions dominate the Theorem 13 bound.");
+}

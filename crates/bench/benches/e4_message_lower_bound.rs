@@ -1,0 +1,38 @@
+//! E4 — Theorem 14: `Ω(n + t²)` messages even with 100% correct
+//! predictions. Message counts with perfect predictions scale
+//! quadratically in `n` (classification alone is `n(n−1)`), and never
+//! drop below the `max(⌈n/4⌉, ⌊t/2⌋⌈t/2⌉)` floor from the proof.
+
+use ba_workloads::{message_lower_bound, ExperimentConfig, InputPattern, Pipeline, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "E4: messages with perfect predictions (B = 0) vs Theorem 14 floor",
+        &["n", "t", "f", "pipeline", "msgs", "msgs/n²", "floor", "≥ floor"],
+    );
+    for (n, t) in [(16usize, 5usize), (24, 7), (32, 10), (48, 15), (64, 21)] {
+        for (pipeline, f) in [(Pipeline::Unauth, t), (Pipeline::Auth, t)] {
+            let mut cfg = ExperimentConfig::new(n, t, f, 0, pipeline);
+            cfg.inputs = InputPattern::Unanimous(5);
+            let out = cfg.run();
+            assert!(out.agreement);
+            let floor = message_lower_bound(n, t);
+            assert!(out.messages >= floor, "below the Dolev–Reischuk floor");
+            table.row([
+                n.to_string(),
+                t.to_string(),
+                f.to_string(),
+                format!("{pipeline:?}"),
+                out.messages.to_string(),
+                format!("{:.1}", out.messages as f64 / (n * n) as f64),
+                floor.to_string(),
+                "true".to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "Perfect predictions do not reduce message complexity below Ω(n + t²):\n\
+         the measured counts stay Θ(n²) across the sweep — Theorem 14's point."
+    );
+}

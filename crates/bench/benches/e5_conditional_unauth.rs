@@ -1,0 +1,61 @@
+//! E5 — Theorem 5: Algorithm 5 standalone. With `kA ≤ k` and
+//! `(2k+1)(3k+1) ≤ n − t − k`: agreement + strong unanimity, return
+//! within `5(2k+1)` rounds, ≤ `5n` messages per process, `O(nk²)` total.
+
+use ba_sim::{ProcessId, Runner, SilentAdversary, Value};
+use ba_unauth::UnauthBaWithClassification;
+use ba_workloads::Table;
+use std::sync::Arc;
+
+fn main() {
+    let mut table = Table::new(
+        "E5: Algorithm 5 (unauth conditional BA), f ≤ k, identity order",
+        &["n", "t", "k", "rounds(meas)", "5(2k+1)", "msgs", "nk² ref", "senders", "agree"],
+    );
+    for (n, t, k, f) in [(16usize, 2usize, 1usize, 1usize), (40, 2, 2, 2), (96, 3, 3, 3)] {
+        assert!(UnauthBaWithClassification::condition_holds(n, t, k));
+        let order: Arc<Vec<ProcessId>> = Arc::new(ProcessId::all(n).collect());
+        let honest: std::collections::BTreeMap<ProcessId, _> = ProcessId::all(n)
+            .skip(f) // first f identifiers faulty (and silent)
+            .enumerate()
+            .map(|(slot, id)| {
+                (
+                    id,
+                    UnauthBaWithClassification::new(
+                        id,
+                        n,
+                        k,
+                        Value(1 + (slot % 2) as u64),
+                        Arc::clone(&order),
+                    ),
+                )
+            })
+            .collect();
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        let report = runner.run(UnauthBaWithClassification::rounds(k) + 2);
+        let agree = report.agreement();
+        assert!(agree, "Theorem 5 violated at n={n}, k={k}");
+        let rounds = report.last_decision_round.expect("all decided");
+        assert!(rounds <= UnauthBaWithClassification::rounds(k) + 1);
+        let senders = report
+            .messages_per_process
+            .values()
+            .filter(|&&c| c > 0)
+            .count();
+        let per_process_max = report.messages_per_process.values().max().copied().unwrap_or(0);
+        assert!(per_process_max <= 5 * n as u64, "per-process 5n bound");
+        table.row([
+            n.to_string(),
+            t.to_string(),
+            k.to_string(),
+            rounds.to_string(),
+            UnauthBaWithClassification::rounds(k).to_string(),
+            report.honest_messages.to_string(),
+            (n * k * k).to_string(),
+            senders.to_string(),
+            agree.to_string(),
+        ]);
+    }
+    table.print();
+    println!("Rounds stay within 5(2k+1); only O(k²) processes ever send.");
+}

@@ -1,0 +1,50 @@
+//! E7 — Lemma 1: after the Algorithm 2 vote, at most
+//! `B / (⌈n/2⌉ − f) = O(B/n)` processes are misclassified by any honest
+//! process, across error-placement strategies.
+
+use ba_core::{Classify, MisclassificationReport};
+use ba_sim::{ProcessId, Runner, SilentAdversary};
+use ba_workloads::{faults, predictions_with_budget, ErrorPlacement, FaultPlacement, Table};
+use std::collections::BTreeMap;
+
+fn main() {
+    let (n, f) = (41, 6);
+    let faulty = faults(n, f, FaultPlacement::Spread);
+    let denom = n.div_ceil(2) - f;
+    let mut table = Table::new(
+        &format!("E7: misclassified processes k_A vs B (n={n}, f={f}, Lemma 1 bound B/{denom})"),
+        &["placement", "B", "k_A", "bound", "within"],
+    );
+    for placement in [
+        ErrorPlacement::Uniform,
+        ErrorPlacement::Concentrated,
+        ErrorPlacement::MissedFaultsOnly,
+        ErrorPlacement::FalseAccusationsOnly,
+        ErrorPlacement::TrustedFaults,
+    ] {
+        for budget in [0usize, 25, 50, 100, 200, 400] {
+            let matrix = predictions_with_budget(n, &faulty, budget, placement, 5);
+            let b = matrix.total_errors(&faulty);
+            let honest: BTreeMap<ProcessId, Classify> = ProcessId::all(n)
+                .filter(|p| !faulty.contains(p))
+                .map(|id| (id, Classify::new(id, n, matrix.row(id).clone())))
+                .collect();
+            let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+            let report = runner.run(3);
+            let refs: Vec<(ProcessId, &ba_core::BitVec)> =
+                report.outputs.iter().map(|(i, c)| (*i, c)).collect();
+            let k_a = MisclassificationReport::compute(n, &faulty, &refs).k_a();
+            let bound = b / denom + 1;
+            assert!(k_a <= bound, "Lemma 1 violated: {placement:?} B={b}");
+            table.row([
+                format!("{placement:?}"),
+                b.to_string(),
+                k_a.to_string(),
+                bound.to_string(),
+                "true".to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("k_A never exceeds B/(⌈n/2⌉ − f) (+1 rounding): Lemma 1 holds.");
+}

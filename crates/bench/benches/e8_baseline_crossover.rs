@@ -1,0 +1,106 @@
+//! E8 — the introduction's promise: with accurate predictions the
+//! wrapper beats the prediction-free baselines; with garbage predictions
+//! it degrades to the same order, never worse than a constant factor.
+//!
+//! Baselines: early-stopping phase-king (unauth, `PhaseKing::full`) and
+//! full Dolev–Strong (auth, `TruncatedDs::full`).
+
+use ba_bench::{run_checked, worst_case};
+use ba_crypto::Pki;
+use ba_early::{PhaseKing, TruncatedDs};
+use ba_sim::{ProcessId, Runner, SilentAdversary, Value};
+use ba_workloads::{Pipeline, Table};
+use std::sync::Arc;
+
+fn baseline_phase_king_rounds(n: usize, t: usize, f: usize) -> u64 {
+    let honest: std::collections::BTreeMap<ProcessId, _> = ProcessId::all(n)
+        .skip(f)
+        .enumerate()
+        .map(|(slot, id)| {
+            (
+                id,
+                PhaseKing::full(id, n, t, Value(1 + (slot % 2) as u64)),
+            )
+        })
+        .collect();
+    let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+    let report = runner.run(PhaseKing::rounds(t + 2) + 2);
+    assert!(report.agreement());
+    report.last_decision_round.expect("baseline decided")
+}
+
+fn baseline_ds_rounds(n: usize, t: usize, f: usize) -> u64 {
+    let pki = Arc::new(Pki::new(n, 3));
+    let honest: std::collections::BTreeMap<ProcessId, _> = ProcessId::all(n)
+        .skip(f)
+        .enumerate()
+        .map(|(slot, id)| {
+            (
+                id,
+                TruncatedDs::full(
+                    id,
+                    n,
+                    t,
+                    1,
+                    Value(1 + (slot % 2) as u64),
+                    Arc::clone(&pki),
+                    pki.signing_key(id.0),
+                ),
+            )
+        })
+        .collect();
+    let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+    let report = runner.run(TruncatedDs::rounds(t) + 2);
+    assert!(report.agreement());
+    report.last_decision_round.expect("baseline decided")
+}
+
+fn main() {
+    let (n, t, f) = (40, 12, 10);
+    let pk_baseline = baseline_phase_king_rounds(n, t, f);
+    let mut table = Table::new(
+        &format!("E8: predictions vs prediction-free baselines (n={n}, t={t}, f={f})"),
+        &["system", "B", "rounds", "vs baseline"],
+    );
+    table.row([
+        "phase-king baseline (unauth)".to_string(),
+        "-".to_string(),
+        pk_baseline.to_string(),
+        "1.0×".to_string(),
+    ]);
+    for budget in [0usize, 40, n * n] {
+        let out = run_checked(&worst_case(n, t, f, budget, Pipeline::Unauth));
+        let r = out.rounds.expect("checked");
+        table.row([
+            "wrapper (unauth)".to_string(),
+            out.b_actual.to_string(),
+            r.to_string(),
+            format!("{:.2}×", r as f64 / pk_baseline as f64),
+        ]);
+    }
+    let (ta, fa) = (13usize, 12usize);
+    let ds_baseline = baseline_ds_rounds(n, ta, fa);
+    table.row([
+        "Dolev–Strong baseline (auth)".to_string(),
+        "-".to_string(),
+        ds_baseline.to_string(),
+        "1.0×".to_string(),
+    ]);
+    for budget in [0usize, 40, n * n] {
+        let out = run_checked(&worst_case(n, ta, fa, budget, Pipeline::Auth));
+        let r = out.rounds.expect("checked");
+        table.row([
+            "wrapper (auth)".to_string(),
+            out.b_actual.to_string(),
+            r.to_string(),
+            format!("{:.2}×", r as f64 / ds_baseline as f64),
+        ]);
+    }
+    table.print();
+    println!(
+        "Accurate predictions win; the baselines face only silent faults here\n\
+         while the wrapper rows face the worst-case disruptor, so the garbage-\n\
+         prediction rows overstate the wrapper's degradation — the honest\n\
+         apples-to-apples comparison is the paper's asymptotic claim."
+    );
+}

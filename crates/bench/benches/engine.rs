@@ -1,0 +1,53 @@
+//! Engine microbenchmarks (criterion): the substrates' wall-clock costs.
+
+use ba_crypto::{hmac_sha256, sha256, Pki};
+use ba_graded::UnauthGraded;
+use ba_sim::{ProcessId, Runner, SilentAdversary, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1024];
+    c.bench_function("sha256_1kib", |b| {
+        b.iter(|| sha256(black_box(&data)));
+    });
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let msg = vec![1u8; 128];
+    c.bench_function("hmac_sha256_128b", |b| {
+        b.iter(|| hmac_sha256(black_box(&key), black_box(&msg)));
+    });
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let pki = Pki::new(64, 1);
+    let key = pki.signing_key(3);
+    let sig = key.sign(b"benchmark message");
+    c.bench_function("pki_verify", |b| {
+        b.iter(|| pki.verify(black_box(b"benchmark message"), black_box(&sig)));
+    });
+}
+
+fn bench_graded_consensus_round(c: &mut Criterion) {
+    c.bench_function("unauth_graded_consensus_n32", |b| {
+        b.iter(|| {
+            let n = 32;
+            let procs: Vec<_> = (0..n as u32)
+                .map(|i| UnauthGraded::new(ProcessId(i), n, 10, Value(u64::from(i % 2))))
+                .collect();
+            let mut runner = Runner::new(n, procs, SilentAdversary);
+            black_box(runner.run(4))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_sign_verify,
+    bench_graded_consensus_round
+);
+criterion_main!(benches);

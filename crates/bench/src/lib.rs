@@ -1,0 +1,43 @@
+//! # ba-bench — experiment harnesses for every claim in the paper
+//!
+//! Each bench target (`cargo bench -p ba-bench`) regenerates one
+//! theorem's complexity table; the printed markdown is what
+//! `EXPERIMENTS.md` records. See `DESIGN.md` §4 for the experiment index
+//! (E1–E9).
+//!
+//! The measured quantities are deterministic (rounds, messages), so the
+//! harnesses run each configuration once per seed and print tables
+//! rather than sampling wall-clock distributions; the `engine` bench
+//! uses criterion for the substrate microbenchmarks.
+
+use ba_workloads::{
+    AdversaryKind, ErrorPlacement, ExperimentConfig, ExperimentOutcome, FaultPlacement,
+    Pipeline,
+};
+
+/// The worst-case experiment configuration used by the shape sweeps:
+/// head-placed coalition, trusted-fault prediction spend, schedule-driven
+/// disruptor.
+pub fn worst_case(n: usize, t: usize, f: usize, budget: usize, pipeline: Pipeline) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(n, t, f, budget, pipeline);
+    cfg.placement = ErrorPlacement::TrustedFaults;
+    cfg.fault_placement = FaultPlacement::Head;
+    cfg.adversary = AdversaryKind::Disruptor;
+    cfg
+}
+
+/// Runs and asserts the safety invariants every experiment must keep.
+pub fn run_checked(cfg: &ExperimentConfig) -> ExperimentOutcome {
+    let out = cfg.run();
+    assert!(
+        out.agreement,
+        "agreement violated at n={} t={} f={} B={}",
+        cfg.n, cfg.t, cfg.f, cfg.budget
+    );
+    assert!(
+        out.rounds.is_some(),
+        "liveness violated at n={} t={} f={} B={}",
+        cfg.n, cfg.t, cfg.f, cfg.budget
+    );
+    out
+}

@@ -1,0 +1,333 @@
+//! Algorithm 2 — classification by majority voting (§6).
+//!
+//! Each honest process broadcasts its prediction string; `pᵢ` then
+//! classifies `pⱼ` as honest iff at least `⌈(n+1)/2⌉` of the received
+//! `n`-bit vectors (its own included) predict `pⱼ` honest.
+//!
+//! The payoff (Lemma 1, re-verified by this module's property tests and
+//! the E7 bench harness): if `f < εn` for a constant `ε < 1/2`, at most
+//! `B / (⌈n/2⌉ − f) = O(B/n)` processes are *misclassified by at least
+//! one honest process* — prediction noise gets compressed by a factor of
+//! `n/2 − f` before it can affect agreement.
+
+use crate::bitvec::BitVec;
+use ba_sim::{Envelope, Outbox, Process, ProcessId};
+use std::collections::BTreeSet;
+
+/// The single message of Algorithm 2: the sender's raw prediction string.
+pub type ClassifyMsg = BitVec;
+
+/// One process's state machine for Algorithm 2 (one round).
+#[derive(Clone, Debug)]
+pub struct Classify {
+    me: ProcessId,
+    n: usize,
+    prediction: BitVec,
+    out: Option<BitVec>,
+}
+
+impl Classify {
+    /// Number of communication rounds.
+    pub const ROUNDS: u64 = 1;
+
+    /// Creates the state machine with this process's prediction string.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the prediction has exactly `n` bits.
+    pub fn new(me: ProcessId, n: usize, prediction: BitVec) -> Self {
+        assert_eq!(prediction.len(), n, "prediction must have n bits");
+        Classify {
+            me,
+            n,
+            prediction,
+            out: None,
+        }
+    }
+
+    /// This process's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The voting threshold `⌈(n+1)/2⌉`.
+    pub fn threshold(n: usize) -> usize {
+        n.div_ceil(2) + usize::from(n % 2 == 0)
+    }
+
+    /// Pure voting rule: classification from a set of received vectors.
+    ///
+    /// Non-`n`-bit vectors have already been discarded by the caller.
+    pub fn tally(n: usize, vectors: &[&BitVec]) -> BitVec {
+        let threshold = Self::threshold(n);
+        let mut c = BitVec::zeros(n);
+        for j in 0..n {
+            let votes = vectors.iter().filter(|v| v.get(j)).count();
+            if votes >= threshold {
+                c.set(j, true);
+            }
+        }
+        c
+    }
+}
+
+impl Process for Classify {
+    type Msg = ClassifyMsg;
+    type Output = BitVec;
+
+    fn step(&mut self, round: u64, inbox: &[Envelope<ClassifyMsg>], out: &mut Outbox<ClassifyMsg>) {
+        match round {
+            0 => out.broadcast(self.prediction.clone()),
+            1 => {
+                // One vector per sender (first message wins); malformed
+                // vectors are discarded, and a sender that failed to send
+                // simply contributes no votes (§6: faulty processes "may
+                // fail to send an n-bit vector").
+                let mut seen: BTreeSet<ProcessId> = BTreeSet::new();
+                let mut vectors: Vec<&BitVec> = Vec::with_capacity(self.n);
+                for env in inbox {
+                    if env.payload.len() == self.n && seen.insert(env.from) {
+                        vectors.push(&env.payload);
+                    }
+                }
+                self.out = Some(Self::tally(self.n, &vectors));
+            }
+            _ => {}
+        }
+    }
+
+    fn output(&self) -> Option<BitVec> {
+        self.out.clone()
+    }
+
+    fn halted(&self) -> bool {
+        self.out.is_some()
+    }
+}
+
+/// Misclassification accounting against ground truth, used throughout the
+/// lemma tests and the experiment harness.
+#[derive(Clone, Debug)]
+pub struct MisclassificationReport {
+    /// Honest processes misclassified (as faulty) by ≥ 1 honest process
+    /// — contributes `k_H`.
+    pub misclassified_honest: BTreeSet<ProcessId>,
+    /// Faulty processes misclassified (as honest) by ≥ 1 honest process
+    /// — contributes `k_F`.
+    pub misclassified_faulty: BTreeSet<ProcessId>,
+}
+
+impl MisclassificationReport {
+    /// Computes the report from the honest classification vectors.
+    pub fn compute(
+        n: usize,
+        faulty: &BTreeSet<ProcessId>,
+        honest_classifications: &[(ProcessId, &BitVec)],
+    ) -> Self {
+        let mut mh = BTreeSet::new();
+        let mut mf = BTreeSet::new();
+        for (owner, c) in honest_classifications {
+            debug_assert!(!faulty.contains(owner));
+            for j in 0..n {
+                let id = ProcessId(j as u32);
+                let classified_honest = c.get(j);
+                match (classified_honest, faulty.contains(&id)) {
+                    (true, true) => {
+                        mf.insert(id);
+                    }
+                    (false, false) => {
+                        mh.insert(id);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        MisclassificationReport {
+            misclassified_honest: mh,
+            misclassified_faulty: mf,
+        }
+    }
+
+    /// `k_A = k_H + k_F`: the total number of misclassified processes
+    /// (each counted once).
+    pub fn k_a(&self) -> usize {
+        self.misclassified_honest.len() + self.misclassified_faulty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prediction::PredictionMatrix;
+    use ba_sim::{AdversaryCtx, FnAdversary, Runner, SilentAdversary};
+
+    fn run_classify(
+        n: usize,
+        faulty: &BTreeSet<ProcessId>,
+        matrix: &PredictionMatrix,
+    ) -> Vec<(ProcessId, BitVec)> {
+        let honest: std::collections::BTreeMap<ProcessId, Classify> = ProcessId::all(n)
+            .filter(|id| !faulty.contains(id))
+            .map(|id| (id, Classify::new(id, n, matrix.row(id).clone())))
+            .collect();
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        let report = runner.run(4);
+        report.outputs.into_iter().collect()
+    }
+
+    fn faults(ids: &[u32]) -> BTreeSet<ProcessId> {
+        ids.iter().copied().map(ProcessId).collect()
+    }
+
+    #[test]
+    fn threshold_is_strict_majority() {
+        assert_eq!(Classify::threshold(4), 3, "⌈5/2⌉ = 3");
+        assert_eq!(Classify::threshold(5), 3);
+        assert_eq!(Classify::threshold(6), 4);
+        assert_eq!(Classify::threshold(7), 4);
+    }
+
+    #[test]
+    fn perfect_predictions_classify_perfectly() {
+        let n = 7;
+        let f = faults(&[2, 5]);
+        let m = PredictionMatrix::perfect(n, &f);
+        let outs = run_classify(n, &f, &m);
+        for (_, c) in &outs {
+            for j in 0..n {
+                assert_eq!(c.get(j), !f.contains(&ProcessId(j as u32)));
+            }
+        }
+        let refs: Vec<(ProcessId, &BitVec)> = outs.iter().map(|(i, c)| (*i, c)).collect();
+        let report = MisclassificationReport::compute(n, &f, &refs);
+        assert_eq!(report.k_a(), 0);
+    }
+
+    #[test]
+    fn observation1_faulty_needs_majority_of_wrong_bits() {
+        // n = 7, f = 1 (p6). To misclassify p6 as honest at some honest
+        // process, ⌈(n+1)/2⌉ − f = 4 − 1 = 3 honest rows must wrongly
+        // trust it. Two wrong rows are not enough.
+        let n = 7;
+        let f = faults(&[6]);
+        let mut m = PredictionMatrix::perfect(n, &f);
+        m.row_mut(ProcessId(0)).set(6, true);
+        m.row_mut(ProcessId(1)).set(6, true);
+        let outs = run_classify(n, &f, &m);
+        for (_, c) in &outs {
+            assert!(!c.get(6), "two wrong rows cannot flip a faulty process");
+        }
+        // A third wrong row (plus the faulty vote itself) can.
+        m.row_mut(ProcessId(2)).set(6, true);
+        let adv_vec = BitVec::ones(n);
+        let adv = FnAdversary::new(move |ctx: &mut AdversaryCtx<'_, ClassifyMsg>| {
+            if ctx.round == 0 {
+                ctx.broadcast(ProcessId(6), adv_vec.clone());
+            }
+        });
+        let honest: std::collections::BTreeMap<ProcessId, Classify> = ProcessId::all(n)
+            .filter(|id| !f.contains(id))
+            .map(|id| (id, Classify::new(id, n, m.row(id).clone())))
+            .collect();
+        let mut runner = Runner::with_ids(n, honest, adv);
+        let report = runner.run(4);
+        assert!(
+            report.outputs.values().any(|c| c.get(6)),
+            "3 wrong honest rows + the faulty vote reach the threshold"
+        );
+    }
+
+    #[test]
+    fn observation2_honest_needs_wrong_bits_to_be_suspected() {
+        // n = 7, f = 1: flipping p0 to "faulty" at some process needs
+        // ⌈n/2⌉ − f = 3 wrong honest rows (the faulty voter helps by
+        // withholding support).
+        let n = 7;
+        let f = faults(&[6]);
+        let mut m = PredictionMatrix::perfect(n, &f);
+        for i in [1u32, 2, 3] {
+            m.row_mut(ProcessId(i)).set(0, false);
+        }
+        // Faulty p6 stays silent: p0 receives 6 vectors, 3 say honest.
+        let outs = run_classify(n, &f, &m);
+        assert!(
+            outs.iter().any(|(_, c)| !c.get(0)),
+            "3 accusations + silent fault suspend p0 somewhere"
+        );
+    }
+
+    #[test]
+    fn lemma1_bound_on_misclassified_processes() {
+        // Random-ish error injection within budget B, then check
+        // k_A ≤ B / (⌈n/2⌉ − f).
+        let n = 21;
+        let f = faults(&[18, 19, 20]);
+        for b_budget in [0usize, 5, 10, 20, 40, 80] {
+            let mut m = PredictionMatrix::perfect(n, &f);
+            // Deterministic error placement: flip bits round-robin across
+            // honest rows, concentrated per target to maximize damage.
+            let mut remaining = b_budget;
+            let mut target = 0usize;
+            'outer: while remaining > 0 {
+                for row in 0..n - 3 {
+                    if remaining == 0 {
+                        break 'outer;
+                    }
+                    let r = ProcessId(row as u32);
+                    let bit = m.row(r).get(target);
+                    m.row_mut(r).set(target, !bit);
+                    remaining -= 1;
+                }
+                target = (target + 1) % n;
+            }
+            let b = m.total_errors(&f);
+            assert_eq!(b, b_budget);
+            let outs = run_classify(n, &f, &m);
+            let refs: Vec<(ProcessId, &BitVec)> = outs.iter().map(|(i, c)| (*i, c)).collect();
+            let report = MisclassificationReport::compute(n, &f, &refs);
+            let denom = n.div_ceil(2) - 3;
+            assert!(
+                report.k_a() <= b / denom.max(1) + 1,
+                "B = {b}: k_A = {} exceeds Lemma 1 bound",
+                report.k_a()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_vectors_are_discarded() {
+        let n = 5;
+        let f = faults(&[4]);
+        let m = PredictionMatrix::perfect(n, &f);
+        let adv = FnAdversary::new(|ctx: &mut AdversaryCtx<'_, ClassifyMsg>| {
+            if ctx.round == 0 {
+                // Wrong-length vector: must count as no vote at all.
+                ctx.broadcast(ProcessId(4), BitVec::ones(3));
+            }
+        });
+        let honest: std::collections::BTreeMap<ProcessId, Classify> = ProcessId::all(n)
+            .filter(|id| !f.contains(id))
+            .map(|id| (id, Classify::new(id, n, m.row(id).clone())))
+            .collect();
+        let mut runner = Runner::with_ids(n, honest, adv);
+        let report = runner.run(4);
+        for c in report.outputs.values() {
+            assert!(!c.get(4), "malformed vote cannot rescue the faulty process");
+            assert!(c.get(0));
+        }
+    }
+
+    #[test]
+    fn one_round_one_broadcast_each() {
+        let n = 6;
+        let f = BTreeSet::new();
+        let m = PredictionMatrix::perfect(n, &f);
+        let honest: std::collections::BTreeMap<ProcessId, Classify> = ProcessId::all(n)
+            .map(|id| (id, Classify::new(id, n, m.row(id).clone())))
+            .collect();
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        let report = runner.run(4);
+        assert_eq!(report.honest_messages, (n * (n - 1)) as u64);
+        assert_eq!(report.last_decision_round, Some(1));
+    }
+}

@@ -1,0 +1,234 @@
+//! The priority ordering `π(c)` and its positional lemmas (§6).
+//!
+//! For a classification vector `c`, `π(c)` lists the identifiers
+//! classified honest in increasing order, followed by the identifiers
+//! classified faulty in increasing order. The paper's Lemmas 2–6 bound
+//! how far positions can drift between the orderings of different honest
+//! processes as a function of the number of misclassified processes —
+//! that drift analysis is what makes the per-phase listen blocks of
+//! Algorithms 5 and 7 overlap in large honest cores.
+//!
+//! The lemma statements are encoded here as checkable functions; the unit
+//! tests and the crate's property suite exercise them on adversarial
+//! classification patterns.
+
+use crate::bitvec::BitVec;
+use ba_sim::ProcessId;
+use std::collections::BTreeSet;
+
+/// Computes `π(c)`: honest-classified identifiers ascending, then
+/// faulty-classified ascending.
+///
+/// # Examples
+///
+/// ```
+/// use ba_core::{pi_order, BitVec};
+/// use ba_sim::ProcessId;
+///
+/// let c = BitVec::from_bools(&[true, false, true, false]);
+/// let order: Vec<u32> = pi_order(&c).into_iter().map(|p| p.0).collect();
+/// assert_eq!(order, vec![0, 2, 1, 3]);
+/// ```
+pub fn pi_order(c: &BitVec) -> Vec<ProcessId> {
+    let n = c.len();
+    let mut order = Vec::with_capacity(n);
+    order.extend((0..n).filter(|&i| c.get(i)).map(|i| ProcessId(i as u32)));
+    order.extend((0..n).filter(|&i| !c.get(i)).map(|i| ProcessId(i as u32)));
+    order
+}
+
+/// Zero-based position of `id` in an ordering.
+///
+/// # Panics
+///
+/// Panics if `id` is absent (orderings are permutations by construction).
+pub fn position_in(order: &[ProcessId], id: ProcessId) -> usize {
+    order
+        .iter()
+        .position(|&p| p == id)
+        .expect("orderings are permutations of all identifiers")
+}
+
+/// The correct classification vector `ĉ` for a fault set.
+pub fn truth_vector(n: usize, faulty: &BTreeSet<ProcessId>) -> BitVec {
+    let mut c = BitVec::ones(n);
+    for f in faulty {
+        c.set(f.index(), false);
+    }
+    c
+}
+
+/// The set of processes misclassified by `c` relative to ground truth
+/// (`δ(c, ĉ)` counts them, Lemma 2's `m`).
+pub fn misclassified_by(c: &BitVec, faulty: &BTreeSet<ProcessId>) -> BTreeSet<ProcessId> {
+    (0..c.len())
+        .filter_map(|i| {
+            let id = ProcessId(i as u32);
+            let wrong = c.get(i) == faulty.contains(&id);
+            wrong.then_some(id)
+        })
+        .collect()
+}
+
+/// Lemma 5's *core set*: the identifiers present in the (0-based,
+/// half-open) position window `[lo, hi)` of **every** given ordering.
+///
+/// The lemma guarantees `|core| ≥ (hi − lo) − k_A` whenever
+/// `lo + k_A ≤ hi ≤ n − t − k_A` (1-based: `ℓ + k_A − 1 < r ≤ n−t−k_A`);
+/// the tests verify exactly that.
+pub fn core_of_window(orders: &[Vec<ProcessId>], lo: usize, hi: usize) -> BTreeSet<ProcessId> {
+    let mut iter = orders.iter();
+    let Some(first) = iter.next() else {
+        return BTreeSet::new();
+    };
+    let mut core: BTreeSet<ProcessId> = first[lo..hi].iter().copied().collect();
+    for order in iter {
+        let window: BTreeSet<ProcessId> = order[lo..hi].iter().copied().collect();
+        core.retain(|id| window.contains(id));
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faults(ids: &[u32]) -> BTreeSet<ProcessId> {
+        ids.iter().copied().map(ProcessId).collect()
+    }
+
+    #[test]
+    fn pi_order_of_truth_lists_honest_first() {
+        let f = faults(&[1, 4]);
+        let c = truth_vector(6, &f);
+        let order: Vec<u32> = pi_order(&c).into_iter().map(|p| p.0).collect();
+        assert_eq!(order, vec![0, 2, 3, 5, 1, 4]);
+    }
+
+    #[test]
+    fn lemma2_position_drift_bounded_by_misclassifications() {
+        // c misclassifies m processes; for every properly classified i,
+        // |pos_π(c)(i) − pos_π(ĉ)(i)| ≤ m.
+        let n = 10;
+        let f = faults(&[7, 8, 9]);
+        let truth = truth_vector(n, &f);
+        let mut c = truth.clone();
+        // Misclassify honest p2 as faulty and faulty p8 as honest: m = 2.
+        c.set(2, false);
+        c.set(8, true);
+        let m = misclassified_by(&c, &f).len();
+        assert_eq!(m, 2);
+        let (po, pt) = (pi_order(&c), pi_order(&truth));
+        for i in 0..n {
+            let id = ProcessId(i as u32);
+            if misclassified_by(&c, &f).contains(&id) {
+                continue;
+            }
+            let drift = position_in(&po, id).abs_diff(position_in(&pt, id));
+            assert!(drift <= m, "p{i} drifted {drift} > m = {m}");
+        }
+    }
+
+    #[test]
+    fn corollary1_early_faulty_position_implies_misclassified() {
+        // If a faulty process sits within the first n − t − k_A positions
+        // of some honest ordering, that ordering misclassifies it.
+        let n = 10;
+        let t = 3;
+        let f = faults(&[7, 8, 9]);
+        let mut c = truth_vector(n, &f);
+        c.set(8, true); // p8 misclassified as honest
+        let k_a = misclassified_by(&c, &f).len();
+        let order = pi_order(&c);
+        for &fp in &f {
+            let pos = position_in(&order, fp);
+            if pos < n - t - k_a {
+                assert!(
+                    misclassified_by(&c, &f).contains(&fp),
+                    "{fp} early but properly classified"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma4_shared_misclassified_faulty_drift() {
+        // Two classifications both trusting the faulty p8: their
+        // positions for p8 differ by at most k_A − 1.
+        let n = 10;
+        let f = faults(&[7, 8, 9]);
+        let mut c1 = truth_vector(n, &f);
+        c1.set(8, true);
+        let mut c2 = truth_vector(n, &f);
+        c2.set(8, true);
+        c2.set(0, false); // extra misclassification in c2
+        let k_a: BTreeSet<ProcessId> = misclassified_by(&c1, &f)
+            .union(&misclassified_by(&c2, &f))
+            .copied()
+            .collect();
+        let drift = position_in(&pi_order(&c1), ProcessId(8))
+            .abs_diff(position_in(&pi_order(&c2), ProcessId(8)));
+        assert!(drift <= k_a.len() - 1);
+    }
+
+    #[test]
+    fn lemma5_core_set_size_bound() {
+        // Window [lo, hi) with hi ≤ n − t − k_A: every set of honest
+        // orderings shares ≥ (hi−lo) − k_A identifiers in the window.
+        let n = 12;
+        let t = 3;
+        let f = faults(&[9, 10, 11]);
+        let mut c1 = truth_vector(n, &f);
+        let mut c2 = truth_vector(n, &f);
+        let c3 = truth_vector(n, &f);
+        c1.set(2, false); // c1 suspects honest p2
+        c2.set(10, true); // c2 trusts faulty p10
+        let all: BTreeSet<ProcessId> = [&c1, &c2, &c3]
+            .iter()
+            .flat_map(|c| misclassified_by(c, &f))
+            .collect();
+        let k_a = all.len();
+        assert_eq!(k_a, 2);
+        let orders = vec![pi_order(&c1), pi_order(&c2), pi_order(&c3)];
+        let (lo, hi) = (0, n - t - k_a); // maximal window
+        let core = core_of_window(&orders, lo, hi);
+        assert!(
+            core.len() >= (hi - lo) - k_a,
+            "core {} < window {} - k_A {}",
+            core.len(),
+            hi - lo,
+            k_a
+        );
+        // And the core is honest-only in this regime.
+        assert!(core.iter().all(|id| !f.contains(id)));
+    }
+
+    #[test]
+    fn lemma6_prefix_membership_bound() {
+        // At most r + k_H processes can see themselves among the first r
+        // positions of their own ordering.
+        let n = 12;
+        let f = faults(&[9, 10, 11]);
+        let r = 5;
+        // Each honest process uses a classification suspecting one other
+        // honest process (a rotating pattern): k_H grows but stays small.
+        let mut count = 0;
+        let mut k_h: BTreeSet<ProcessId> = BTreeSet::new();
+        for i in 0..9u32 {
+            let mut c = truth_vector(n, &f);
+            let suspect = (i + 1) % 9;
+            c.set(suspect as usize, false);
+            k_h.insert(ProcessId(suspect));
+            let order = pi_order(&c);
+            if position_in(&order, ProcessId(i)) < r {
+                count += 1;
+            }
+        }
+        assert!(count <= r + k_h.len());
+    }
+
+    #[test]
+    fn core_of_empty_orderings_is_empty() {
+        assert!(core_of_window(&[], 0, 0).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Classification predictions and their error accounting (§3).
+//!
+//! Each process `pᵢ` receives an `n`-bit prediction string `aᵢ`:
+//! `aᵢ[j] = 1` predicts `pⱼ` honest, `aᵢ[j] = 0` predicts `pⱼ` faulty.
+//! The quality measure is the number `B` of incorrect bits across the
+//! prediction strings *of honest processes*:
+//!
+//! * `B_F` — bits that predict a faulty process as honest (missed
+//!   detections);
+//! * `B_H` — bits that predict an honest process as faulty (false
+//!   accusations);
+//! * `B = B_F + B_H`.
+//!
+//! Bits handed to faulty processes are not counted (the adversary may
+//! ignore them anyway).
+
+use crate::bitvec::BitVec;
+use ba_sim::ProcessId;
+use std::collections::BTreeSet;
+
+/// The per-process prediction strings of one execution.
+#[derive(Clone, Debug)]
+pub struct PredictionMatrix {
+    n: usize,
+    rows: Vec<BitVec>,
+}
+
+impl PredictionMatrix {
+    /// The all-correct prediction for a given fault set.
+    pub fn perfect(n: usize, faulty: &BTreeSet<ProcessId>) -> Self {
+        let mut truth = BitVec::ones(n);
+        for f in faulty {
+            truth.set(f.index(), false);
+        }
+        PredictionMatrix {
+            n,
+            rows: vec![truth; n],
+        }
+    }
+
+    /// The all-ones ("everyone honest") prediction — what a system
+    /// without a monitoring service would assume.
+    pub fn all_honest(n: usize) -> Self {
+        PredictionMatrix {
+            n,
+            rows: vec![BitVec::ones(n); n],
+        }
+    }
+
+    /// Builds from explicit rows (row `i` is `aᵢ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there are `n` rows of `n` bits.
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        let n = rows.len();
+        assert!(rows.iter().all(|r| r.len() == n), "rows must be n×n");
+        PredictionMatrix { n, rows }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The prediction string handed to `pᵢ`.
+    pub fn row(&self, i: ProcessId) -> &BitVec {
+        &self.rows[i.index()]
+    }
+
+    /// Mutable access (used by error-injection generators).
+    pub fn row_mut(&mut self, i: ProcessId) -> &mut BitVec {
+        &mut self.rows[i.index()]
+    }
+
+    /// Counts `(B_F, B_H)` for a given fault set, over honest rows only.
+    pub fn error_counts(&self, faulty: &BTreeSet<ProcessId>) -> (usize, usize) {
+        let mut bf = 0;
+        let mut bh = 0;
+        for i in 0..self.n {
+            if faulty.contains(&ProcessId(i as u32)) {
+                continue;
+            }
+            let row = &self.rows[i];
+            for j in 0..self.n {
+                let predicted_honest = row.get(j);
+                let is_faulty = faulty.contains(&ProcessId(j as u32));
+                match (predicted_honest, is_faulty) {
+                    (true, true) => bf += 1,
+                    (false, false) => bh += 1,
+                    _ => {}
+                }
+            }
+        }
+        (bf, bh)
+    }
+
+    /// Total incorrect bits `B = B_F + B_H`.
+    pub fn total_errors(&self, faulty: &BTreeSet<ProcessId>) -> usize {
+        let (bf, bh) = self.error_counts(faulty);
+        bf + bh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faults(ids: &[u32]) -> BTreeSet<ProcessId> {
+        ids.iter().copied().map(ProcessId).collect()
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_errors() {
+        let f = faults(&[1, 3]);
+        let m = PredictionMatrix::perfect(5, &f);
+        assert_eq!(m.error_counts(&f), (0, 0));
+        assert!(!m.row(ProcessId(0)).get(1));
+        assert!(m.row(ProcessId(0)).get(2));
+    }
+
+    #[test]
+    fn all_honest_counts_missed_faults_per_honest_row() {
+        let f = faults(&[1, 3]);
+        let m = PredictionMatrix::all_honest(5);
+        // 3 honest rows × 2 missed faults = 6 B_F errors.
+        assert_eq!(m.error_counts(&f), (6, 0));
+        assert_eq!(m.total_errors(&f), 6);
+    }
+
+    #[test]
+    fn false_accusations_count_as_bh() {
+        let f = faults(&[4]);
+        let mut m = PredictionMatrix::perfect(5, &f);
+        // p0 wrongly suspects honest p2.
+        m.row_mut(ProcessId(0)).set(2, false);
+        assert_eq!(m.error_counts(&f), (0, 1));
+    }
+
+    #[test]
+    fn faulty_rows_do_not_count() {
+        let f = faults(&[0]);
+        let mut m = PredictionMatrix::perfect(4, &f);
+        // Garbage in the faulty process's own row is free.
+        *m.row_mut(ProcessId(0)) = BitVec::zeros(4);
+        assert_eq!(m.total_errors(&f), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n×n")]
+    fn from_rows_validates_shape() {
+        let _ = PredictionMatrix::from_rows(vec![BitVec::zeros(3), BitVec::zeros(2), BitVec::zeros(3)]);
+    }
+}

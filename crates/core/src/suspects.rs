@@ -1,0 +1,182 @@
+//! Suspect-list predictions — an extension beyond the paper (§11 names
+//! "other types of predictions" as future work).
+//!
+//! Real security monitors (the paper's motivating Darktrace/Vectra/Zeek
+//! examples) rarely emit a full `n`-bit classification; they emit a
+//! *short list of suspects* with the implicit assumption that everyone
+//! else is clean — exactly the encoding the paper notes in §1: "a list of
+//! processes that appear malicious, with the default assumption that the
+//! remainder are honest".
+//!
+//! [`SuspectList`] is that native format, with a lossless conversion to
+//! the classification strings the algorithms consume. Error accounting
+//! carries over: a suspect list with `m` wrong entries yields a
+//! classification string with exactly `m` wrong bits, so every theorem's
+//! `B` budget applies unchanged to suspect-list deployments.
+
+use crate::bitvec::BitVec;
+use crate::prediction::PredictionMatrix;
+use ba_sim::ProcessId;
+use std::collections::BTreeSet;
+
+/// A monitor-style prediction: the identifiers flagged as malicious;
+/// everyone absent from the list is implicitly predicted honest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuspectList {
+    suspects: BTreeSet<ProcessId>,
+}
+
+impl SuspectList {
+    /// An empty list (everyone predicted honest).
+    pub fn new() -> Self {
+        SuspectList {
+            suspects: BTreeSet::new(),
+        }
+    }
+
+    /// Builds from flagged identifiers.
+    pub fn from_suspects<I: IntoIterator<Item = ProcessId>>(ids: I) -> Self {
+        SuspectList {
+            suspects: ids.into_iter().collect(),
+        }
+    }
+
+    /// Flags `id` as suspicious. Returns whether it was newly flagged.
+    pub fn flag(&mut self, id: ProcessId) -> bool {
+        self.suspects.insert(id)
+    }
+
+    /// Clears a flag. Returns whether it was present.
+    pub fn clear(&mut self, id: ProcessId) -> bool {
+        self.suspects.remove(&id)
+    }
+
+    /// Whether `id` is flagged.
+    pub fn is_suspect(&self, id: ProcessId) -> bool {
+        self.suspects.contains(&id)
+    }
+
+    /// Number of flagged identifiers.
+    pub fn len(&self) -> usize {
+        self.suspects.len()
+    }
+
+    /// Whether the list flags nobody.
+    pub fn is_empty(&self) -> bool {
+        self.suspects.is_empty()
+    }
+
+    /// Iterates over flagged identifiers in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.suspects.iter().copied()
+    }
+
+    /// The classification prediction string this list encodes for a
+    /// system of `n` processes: bit `j` is 0 iff `pⱼ` is flagged.
+    pub fn to_prediction(&self, n: usize) -> BitVec {
+        let mut bits = BitVec::ones(n);
+        for s in &self.suspects {
+            if s.index() < n {
+                bits.set(s.index(), false);
+            }
+        }
+        bits
+    }
+
+    /// Recovers the list encoded by a prediction string.
+    pub fn from_prediction(bits: &BitVec) -> Self {
+        SuspectList {
+            suspects: (0..bits.len())
+                .filter(|&i| !bits.get(i))
+                .map(|i| ProcessId(i as u32))
+                .collect(),
+        }
+    }
+
+    /// Number of wrong entries relative to a ground-truth fault set:
+    /// flagged-but-honest (false positives) plus unflagged-but-faulty
+    /// (missed detections). Equals the Hamming error of
+    /// [`to_prediction`](Self::to_prediction) against the truth vector.
+    pub fn errors(&self, n: usize, faulty: &BTreeSet<ProcessId>) -> usize {
+        let fp = self
+            .suspects
+            .iter()
+            .filter(|s| s.index() < n && !faulty.contains(s))
+            .count();
+        let fnr = faulty
+            .iter()
+            .filter(|f| f.index() < n && !self.suspects.contains(f))
+            .count();
+        fp + fnr
+    }
+}
+
+/// Builds a full prediction matrix from per-process suspect lists (the
+/// deployment-shaped entry point: one monitor reading per process).
+pub fn matrix_from_suspect_lists(n: usize, lists: &[SuspectList]) -> PredictionMatrix {
+    assert_eq!(lists.len(), n, "one suspect list per process");
+    PredictionMatrix::from_rows(lists.iter().map(|l| l.to_prediction(n)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faults(ids: &[u32]) -> BTreeSet<ProcessId> {
+        ids.iter().copied().map(ProcessId).collect()
+    }
+
+    #[test]
+    fn flag_clear_roundtrip() {
+        let mut l = SuspectList::new();
+        assert!(l.flag(ProcessId(3)));
+        assert!(!l.flag(ProcessId(3)), "double flag is idempotent");
+        assert!(l.is_suspect(ProcessId(3)));
+        assert!(l.clear(ProcessId(3)));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn prediction_encoding_roundtrip() {
+        let l = SuspectList::from_suspects([ProcessId(1), ProcessId(4)]);
+        let bits = l.to_prediction(6);
+        assert!(!bits.get(1) && !bits.get(4));
+        assert!(bits.get(0) && bits.get(5));
+        assert_eq!(SuspectList::from_prediction(&bits), l);
+    }
+
+    #[test]
+    fn error_accounting_matches_bitwise_hamming() {
+        let f = faults(&[2, 5]);
+        // Flags p2 (correct), p0 (false positive), misses p5.
+        let l = SuspectList::from_suspects([ProcessId(2), ProcessId(0)]);
+        assert_eq!(l.errors(6, &f), 2);
+        let truth = crate::ordering::truth_vector(6, &f);
+        assert_eq!(l.to_prediction(6).hamming(&truth), 2);
+    }
+
+    #[test]
+    fn out_of_range_suspects_are_harmless() {
+        let l = SuspectList::from_suspects([ProcessId(99)]);
+        let bits = l.to_prediction(4);
+        assert_eq!(bits.count_ones(), 4);
+        assert_eq!(l.errors(4, &BTreeSet::new()), 0);
+    }
+
+    #[test]
+    fn matrix_from_lists_shapes_correctly() {
+        let n = 4;
+        let lists: Vec<SuspectList> = (0..n)
+            .map(|i| SuspectList::from_suspects([ProcessId((i as u32 + 1) % n as u32)]))
+            .collect();
+        let m = matrix_from_suspect_lists(n, &lists);
+        assert!(!m.row(ProcessId(0)).get(1));
+        assert!(m.row(ProcessId(0)).get(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one suspect list per process")]
+    fn matrix_requires_n_lists() {
+        let _ = matrix_from_suspect_lists(3, &[SuspectList::new()]);
+    }
+}

@@ -1,0 +1,445 @@
+//! Algorithm 1 — Byzantine Agreement with Predictions, authenticated
+//! pipeline (§5, §9, Theorem 12).
+//!
+//! The same guess-and-double wrapper as
+//! [`wrapper_unauth`](crate::wrapper_unauth), instantiated with the
+//! authenticated components for `t < (1/2 − ε)n`:
+//!
+//! * graded consensus → [`ba_graded::AuthGraded`] (substitution S3,
+//!   5 rounds);
+//! * early-stopping BA → [`ba_early::TruncatedDs`] (substitution S5,
+//!   `k + 1` rounds);
+//! * conditional BA → [`ba_auth::AuthBaWithClassification`]
+//!   (Algorithm 7, `k + 3` rounds).
+//!
+//! Because Algorithm 7 only needs `2k + 1 ≤ n − t − k`, the prediction
+//! budget keeps paying off up to `B = Θ(n²)` — the paper's headline
+//! difference from the unauthenticated pipeline, reproduced by bench E2.
+//!
+//! Every signature in every slot is domain-separated by the slot index
+//! (the session tag), so harvesting signatures from one sub-protocol and
+//! replaying them into another is useless.
+
+use crate::bitvec::BitVec;
+use crate::classify::Classify;
+use crate::ordering::pi_order;
+use crate::schedule::{Schedule, Slot, SlotKind};
+use ba_auth::bb_committee::BbBatch;
+use ba_auth::{Alg7Msg, AuthBaWithClassification};
+use ba_crypto::{Pki, SigningKey};
+use ba_early::TruncatedDs;
+use ba_graded::{AuthGcMsg, AuthGraded};
+use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value};
+use std::sync::Arc;
+
+/// Messages of the authenticated wrapper, tagged by slot.
+#[derive(Clone, Debug)]
+pub enum AuthWrapperMsg {
+    /// Algorithm 2 traffic.
+    Classify(Arc<BitVec>),
+    /// Authenticated graded-consensus traffic of one slot.
+    Gc {
+        /// Slot index (= session tag).
+        slot: u16,
+        /// Inner payload.
+        inner: Arc<AuthGcMsg>,
+    },
+    /// Truncated-Dolev–Strong traffic of one slot.
+    Es {
+        /// Slot index (= session tag).
+        slot: u16,
+        /// Inner payload.
+        inner: Arc<BbBatch>,
+    },
+    /// Algorithm 7 traffic of one slot.
+    Class {
+        /// Slot index (= session tag).
+        slot: u16,
+        /// Inner payload.
+        inner: Arc<Alg7Msg>,
+    },
+}
+
+enum Active {
+    Classify(Classify),
+    Gc(AuthGraded),
+    Es(TruncatedDs),
+    Class(AuthBaWithClassification),
+    None,
+}
+
+/// One process's state machine for the authenticated
+/// `ba-with-predictions`.
+pub struct AuthWrapper {
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    pki: Arc<Pki>,
+    key: SigningKey,
+    schedule: Schedule,
+    cursor: usize,
+    value: Value,
+    grade: u8,
+    decision: Option<Value>,
+    decision_phase: Option<u16>,
+    order: Option<Arc<Vec<ProcessId>>>,
+    classification: Option<BitVec>,
+    active: Active,
+    returned: bool,
+}
+
+impl std::fmt::Debug for AuthWrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuthWrapper")
+            .field("me", &self.me)
+            .field("value", &self.value)
+            .field("decision", &self.decision)
+            .field("returned", &self.returned)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AuthWrapper {
+    /// The deterministic schedule for `(n, t)`.
+    pub fn schedule(n: usize, t: usize) -> Schedule {
+        Schedule::build(
+            t,
+            AuthGraded::ROUNDS,
+            |k| TruncatedDs::rounds(k.min(t)),
+            |k| (2 * k + 1 <= n).then(|| AuthBaWithClassification::rounds(k)),
+        )
+    }
+
+    /// Creates the state machine for process `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2t < n` and the prediction has `n` bits.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        t: usize,
+        input: Value,
+        prediction: BitVec,
+        pki: Arc<Pki>,
+        key: SigningKey,
+    ) -> Self {
+        assert!(2 * t < n, "the authenticated pipeline needs t < n/2");
+        assert_eq!(prediction.len(), n);
+        assert_eq!(key.id(), me.0);
+        let schedule = Self::schedule(n, t);
+        let mut w = AuthWrapper {
+            me,
+            n,
+            t,
+            pki,
+            key,
+            schedule,
+            cursor: 0,
+            value: input,
+            grade: 0,
+            decision: None,
+            decision_phase: None,
+            order: None,
+            classification: None,
+            active: Active::None,
+            returned: false,
+        };
+        w.active = Active::Classify(Classify::new(me, n, prediction));
+        w
+    }
+
+    /// The classification vector `cᵢ` (available once Algorithm 2 ran).
+    pub fn classification(&self) -> Option<&BitVec> {
+        self.classification.as_ref()
+    }
+
+    /// The phase in which this process decided, if it has.
+    pub fn decision_phase(&self) -> Option<u16> {
+        self.decision_phase
+    }
+
+    fn drive(
+        &mut self,
+        local: u64,
+        inbox: &[Envelope<AuthWrapperMsg>],
+        out: &mut Outbox<AuthWrapperMsg>,
+    ) {
+        let slot_idx = self.schedule.slots[self.cursor].idx;
+        match &mut self.active {
+            Active::Classify(sub) => {
+                let s = sub_inbox(inbox, |m| match m {
+                    AuthWrapperMsg::Classify(x) => Some(Arc::clone(x)),
+                    _ => None,
+                });
+                let mut so = Outbox::new(self.me, self.n);
+                sub.step(local, &s, &mut so);
+                forward_sub(so, out, AuthWrapperMsg::Classify);
+            }
+            Active::Gc(sub) => {
+                let s = sub_inbox(inbox, |m| match m {
+                    AuthWrapperMsg::Gc { slot, inner } if *slot == slot_idx => {
+                        Some(Arc::clone(inner))
+                    }
+                    _ => None,
+                });
+                let mut so = Outbox::new(self.me, self.n);
+                sub.step(local, &s, &mut so);
+                forward_sub(so, out, |inner| AuthWrapperMsg::Gc {
+                    slot: slot_idx,
+                    inner,
+                });
+            }
+            Active::Es(sub) => {
+                let s = sub_inbox(inbox, |m| match m {
+                    AuthWrapperMsg::Es { slot, inner } if *slot == slot_idx => {
+                        Some(Arc::clone(inner))
+                    }
+                    _ => None,
+                });
+                let mut so = Outbox::new(self.me, self.n);
+                sub.step(local, &s, &mut so);
+                forward_sub(so, out, |inner| AuthWrapperMsg::Es {
+                    slot: slot_idx,
+                    inner,
+                });
+            }
+            Active::Class(sub) => {
+                let s = sub_inbox(inbox, |m| match m {
+                    AuthWrapperMsg::Class { slot, inner } if *slot == slot_idx => {
+                        Some(Arc::clone(inner))
+                    }
+                    _ => None,
+                });
+                let mut so = Outbox::new(self.me, self.n);
+                sub.step(local, &s, &mut so);
+                forward_sub(so, out, |inner| AuthWrapperMsg::Class {
+                    slot: slot_idx,
+                    inner,
+                });
+            }
+            Active::None => {}
+        }
+    }
+
+    fn finalize_slot(&mut self) -> bool {
+        let slot: Slot = self.schedule.slots[self.cursor];
+        let active = std::mem::replace(&mut self.active, Active::None);
+        match (slot.kind, active) {
+            (SlotKind::Classify, Active::Classify(sub)) => {
+                let c = sub.output().expect("classification ready");
+                self.order = Some(Arc::new(pi_order(&c)));
+                self.classification = Some(c);
+            }
+            (SlotKind::GcA { .. } | SlotKind::GcB { .. }, Active::Gc(sub)) => {
+                let g = sub.output().expect("graded consensus ready");
+                self.value = g.value;
+                self.grade = g.paper_grade();
+            }
+            (SlotKind::Es { .. }, Active::Es(sub)) => {
+                let v = sub.output().expect("early stopping ready");
+                if self.grade == 0 {
+                    self.value = v;
+                }
+            }
+            (SlotKind::Class { .. }, Active::Class(sub)) => {
+                let v = sub.output().expect("Algorithm 7 ready");
+                if self.grade == 0 {
+                    self.value = v;
+                }
+            }
+            (SlotKind::GcC { phase }, Active::Gc(sub)) => {
+                let g = sub.output().expect("graded consensus ready");
+                self.value = g.value;
+                if self.decision.is_some() {
+                    self.returned = true;
+                    return true;
+                }
+                if g.paper_grade() == 1 {
+                    self.decision = Some(g.value);
+                    self.decision_phase = Some(phase);
+                }
+            }
+            (kind, _) => unreachable!("slot {kind:?} finalized with mismatched sub-protocol"),
+        }
+        false
+    }
+
+    fn start_slot(&mut self) {
+        let slot = self.schedule.slots[self.cursor];
+        let session = u64::from(slot.idx);
+        self.active = match slot.kind {
+            SlotKind::Classify => unreachable!("classify is constructed up front"),
+            SlotKind::GcA { .. } | SlotKind::GcB { .. } | SlotKind::GcC { .. } => {
+                Active::Gc(AuthGraded::new(
+                    self.me,
+                    self.n,
+                    self.t,
+                    session,
+                    self.value,
+                    Arc::clone(&self.pki),
+                    self.key.clone(),
+                ))
+            }
+            SlotKind::Es { k, .. } => Active::Es(TruncatedDs::new(
+                self.me,
+                self.n,
+                self.t,
+                k.min(self.t),
+                session,
+                self.value,
+                Arc::clone(&self.pki),
+                self.key.clone(),
+            )),
+            SlotKind::Class { k, .. } => {
+                let order = Arc::clone(self.order.as_ref().expect("classified before phase 1"));
+                Active::Class(AuthBaWithClassification::new(
+                    self.me,
+                    self.n,
+                    self.t,
+                    k,
+                    session,
+                    self.value,
+                    order,
+                    Arc::clone(&self.pki),
+                    self.key.clone(),
+                ))
+            }
+        };
+    }
+}
+
+impl Process for AuthWrapper {
+    type Msg = AuthWrapperMsg;
+    type Output = Value;
+
+    fn step(&mut self, round: u64, inbox: &[Envelope<AuthWrapperMsg>], out: &mut Outbox<AuthWrapperMsg>) {
+        if self.returned {
+            return;
+        }
+        let slot = self.schedule.slots[self.cursor];
+        if round == slot.end {
+            self.drive(round - slot.start, inbox, out);
+            if self.finalize_slot() {
+                return;
+            }
+            if self.cursor + 1 == self.schedule.slots.len() {
+                if self.decision.is_none() {
+                    self.decision = Some(self.value);
+                }
+                self.returned = true;
+                return;
+            }
+            self.cursor += 1;
+            self.start_slot();
+            self.drive(0, inbox, out);
+        } else {
+            debug_assert!(round >= slot.start && round < slot.end);
+            self.drive(round - slot.start, inbox, out);
+        }
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.decision
+    }
+
+    fn halted(&self) -> bool {
+        self.returned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prediction::PredictionMatrix;
+    use ba_sim::{Runner, SilentAdversary};
+    use std::collections::BTreeSet;
+
+    fn run(
+        n: usize,
+        t: usize,
+        faulty: &[u32],
+        inputs: &[u64],
+        matrix: &PredictionMatrix,
+        max_rounds: u64,
+    ) -> ba_sim::RunReport<Value> {
+        let faulty: BTreeSet<ProcessId> = faulty.iter().copied().map(ProcessId).collect();
+        let pki = Arc::new(Pki::new(n, 1234));
+        let mut honest = std::collections::BTreeMap::new();
+        let mut next_input = inputs.iter().copied();
+        for id in ProcessId::all(n) {
+            if faulty.contains(&id) {
+                continue;
+            }
+            let v = Value(next_input.next().expect("enough inputs"));
+            honest.insert(
+                id,
+                AuthWrapper::new(
+                    id,
+                    n,
+                    t,
+                    v,
+                    matrix.row(id).clone(),
+                    Arc::clone(&pki),
+                    pki.signing_key(id.0),
+                ),
+            );
+        }
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        runner.run(max_rounds)
+    }
+
+    #[test]
+    fn unanimity_beyond_one_third_faults() {
+        // t = 4 of n = 10 — impossible for the unauthenticated pipeline.
+        let n = 10;
+        let t = 4;
+        let f: BTreeSet<ProcessId> = [6u32, 7, 8, 9].into_iter().map(ProcessId).collect();
+        let m = PredictionMatrix::perfect(n, &f);
+        let report = run(n, t, &[6, 7, 8, 9], &[3; 6], &m, 600);
+        assert!(report.agreement());
+        assert_eq!(report.decision(), Some(&Value(3)));
+    }
+
+    #[test]
+    fn mixed_inputs_agree_with_perfect_predictions() {
+        let n = 10;
+        let t = 3;
+        let f: BTreeSet<ProcessId> = [4u32, 9].into_iter().map(ProcessId).collect();
+        let m = PredictionMatrix::perfect(n, &f);
+        let inputs: Vec<u64> = (0..8).map(|i| i % 2).collect();
+        let report = run(n, t, &[4, 9], &inputs, &m, 600);
+        assert!(report.agreement());
+    }
+
+    #[test]
+    fn garbage_predictions_still_agree() {
+        let n = 10;
+        let t = 3;
+        let rows = vec![BitVec::zeros(n); n];
+        let m = PredictionMatrix::from_rows(rows);
+        let inputs: Vec<u64> = (0..8).map(|i| i % 2).collect();
+        let report = run(n, t, &[0, 5], &inputs, &m, 600);
+        assert!(report.agreement(), "graceful degradation");
+    }
+
+    #[test]
+    fn schedule_class_slots_survive_to_larger_k_than_unauth() {
+        // The headline asymmetry: Algorithm 7 slots exist while
+        // 2k+1 ≤ n; Algorithm 5 slots need (2k+1)(3k+1) ≤ n.
+        let n = 32;
+        let auth = AuthWrapper::schedule(n, 10);
+        let unauth = crate::wrapper_unauth::UnauthWrapper::schedule(n, 10);
+        let max_k = |s: &crate::schedule::Schedule| {
+            s.slots
+                .iter()
+                .filter_map(|s| match s.kind {
+                    SlotKind::Class { k, .. } => Some(k),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(max_k(&auth) > max_k(&unauth));
+    }
+}

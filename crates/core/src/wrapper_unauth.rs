@@ -1,0 +1,421 @@
+//! Algorithm 1 — Byzantine Agreement with Predictions, unauthenticated
+//! pipeline (§5, §9, Theorem 11).
+//!
+//! `ba-with-predictions(xᵢ, aᵢ)` for `t < n/3`:
+//!
+//! ```text
+//!  1: cᵢ ← classify(aᵢ)                                  (Algorithm 2)
+//!  4: for φ ← 1 to ⌈log₂ t⌉ + 1:
+//!  6:   (vᵢ, gᵢ) ← graded-consensus(vᵢ)                  (substitution S2)
+//!  7:   v'ᵢ ← ba-early-stopping(vᵢ, T)                   (substitution S4)
+//!  8:   if gᵢ = 0 then vᵢ ← v'ᵢ
+//!  9:   (vᵢ, gᵢ) ← graded-consensus(vᵢ)
+//! 10:   v'ᵢ ← ba-with-classification(vᵢ, cᵢ, 2^{φ−1}, T) (Algorithm 5)
+//! 11:   if gᵢ = 0 then vᵢ ← v'ᵢ
+//! 12:   (vᵢ, gᵢ) ← graded-consensus(vᵢ)
+//! 13:   if decidedᵢ then return decisionᵢ
+//! 14:   if gᵢ = 1 then { decisionᵢ ← vᵢ; decidedᵢ ← true }
+//! 17: return decisionᵢ
+//! ```
+//!
+//! Safety rests *only* on the unconditional graded consensus: the
+//! early-stopping and classification sub-protocols may return garbage in
+//! phases whose preconditions fail, but a garbage value is adopted only
+//! at grade 0, and grade-1 coherence pins every adopted decision
+//! (Lemmas 28–31 of the paper). Performance comes from whichever
+//! sub-protocol's condition fires first — `O(min{B/n + 1, f})` phases'
+//! worth of doubling budgets (Theorem 11).
+
+use crate::bitvec::BitVec;
+use crate::classify::Classify;
+use crate::ordering::pi_order;
+use crate::schedule::{Schedule, Slot, SlotKind};
+use ba_early::{EsUnauth, EsUnauthMsg};
+use ba_graded::{UnauthGcMsg, UnauthGraded};
+use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value};
+use ba_unauth::{Alg5Msg, UnauthBaWithClassification};
+use std::sync::Arc;
+
+/// Messages of the unauthenticated wrapper, tagged by slot.
+#[derive(Clone, Debug)]
+pub enum UnauthWrapperMsg {
+    /// Algorithm 2 traffic.
+    Classify(Arc<BitVec>),
+    /// Graded-consensus traffic of one slot.
+    Gc {
+        /// Slot index.
+        slot: u16,
+        /// Inner payload.
+        inner: Arc<UnauthGcMsg>,
+    },
+    /// Early-stopping traffic of one slot.
+    Es {
+        /// Slot index.
+        slot: u16,
+        /// Inner payload.
+        inner: Arc<EsUnauthMsg>,
+    },
+    /// Algorithm 5 traffic of one slot.
+    Class {
+        /// Slot index.
+        slot: u16,
+        /// Inner payload.
+        inner: Arc<Alg5Msg>,
+    },
+}
+
+enum Active {
+    Classify(Classify),
+    Gc(UnauthGraded),
+    Es(EsUnauth),
+    Class(UnauthBaWithClassification),
+    /// Before the first slot starts.
+    None,
+}
+
+/// One process's state machine for the full unauthenticated
+/// `ba-with-predictions`.
+///
+/// The schedule (and therefore the exact number of rounds) is a pure
+/// function of `(n, t)`: [`UnauthWrapper::schedule`].
+pub struct UnauthWrapper {
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    schedule: Schedule,
+    cursor: usize,
+    value: Value,
+    grade: u8,
+    decision: Option<Value>,
+    decision_phase: Option<u16>,
+    order: Option<Arc<Vec<ProcessId>>>,
+    classification: Option<BitVec>,
+    active: Active,
+    returned: bool,
+}
+
+impl std::fmt::Debug for UnauthWrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnauthWrapper")
+            .field("me", &self.me)
+            .field("value", &self.value)
+            .field("decision", &self.decision)
+            .field("returned", &self.returned)
+            .finish_non_exhaustive()
+    }
+}
+
+impl UnauthWrapper {
+    /// The deterministic schedule for a system of `n` processes with
+    /// fault bound `t`.
+    pub fn schedule(n: usize, t: usize) -> Schedule {
+        Schedule::build(
+            t,
+            UnauthGraded::ROUNDS,
+            |k| EsUnauth::rounds(n, t, k),
+            |k| {
+                UnauthBaWithClassification::is_structurally_valid(n, k)
+                    .then(|| UnauthBaWithClassification::rounds(k))
+            },
+        )
+    }
+
+    /// Creates the state machine for process `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3t < n` (Theorem 11's resilience) and the
+    /// prediction has `n` bits.
+    pub fn new(me: ProcessId, n: usize, t: usize, input: Value, prediction: BitVec) -> Self {
+        assert!(3 * t < n, "the unauthenticated pipeline needs 3t < n");
+        assert_eq!(prediction.len(), n);
+        let schedule = Self::schedule(n, t);
+        let mut w = UnauthWrapper {
+            me,
+            n,
+            t,
+            schedule,
+            cursor: 0,
+            value: input,
+            grade: 0,
+            decision: None,
+            decision_phase: None,
+            order: None,
+            classification: None,
+            active: Active::None,
+            returned: false,
+        };
+        w.active = Active::Classify(Classify::new(me, n, prediction));
+        w
+    }
+
+    /// The classification vector `cᵢ` (available once Algorithm 2 has
+    /// run).
+    pub fn classification(&self) -> Option<&BitVec> {
+        self.classification.as_ref()
+    }
+
+    /// The phase in which this process decided, if it has.
+    pub fn decision_phase(&self) -> Option<u16> {
+        self.decision_phase
+    }
+
+    fn drive(
+        &mut self,
+        local: u64,
+        inbox: &[Envelope<UnauthWrapperMsg>],
+        out: &mut Outbox<UnauthWrapperMsg>,
+    ) {
+        let slot_idx = self.schedule.slots[self.cursor].idx;
+        match &mut self.active {
+            Active::Classify(sub) => {
+                let s = sub_inbox(inbox, |m| match m {
+                    UnauthWrapperMsg::Classify(x) => Some(Arc::clone(x)),
+                    _ => None,
+                });
+                let mut so = Outbox::new(self.me, self.n);
+                sub.step(local, &s, &mut so);
+                forward_sub(so, out, UnauthWrapperMsg::Classify);
+            }
+            Active::Gc(sub) => {
+                let s = sub_inbox(inbox, |m| match m {
+                    UnauthWrapperMsg::Gc { slot, inner } if *slot == slot_idx => {
+                        Some(Arc::clone(inner))
+                    }
+                    _ => None,
+                });
+                let mut so = Outbox::new(self.me, self.n);
+                sub.step(local, &s, &mut so);
+                forward_sub(so, out, |inner| UnauthWrapperMsg::Gc {
+                    slot: slot_idx,
+                    inner,
+                });
+            }
+            Active::Es(sub) => {
+                let s = sub_inbox(inbox, |m| match m {
+                    UnauthWrapperMsg::Es { slot, inner } if *slot == slot_idx => {
+                        Some(Arc::clone(inner))
+                    }
+                    _ => None,
+                });
+                let mut so = Outbox::new(self.me, self.n);
+                sub.step(local, &s, &mut so);
+                forward_sub(so, out, |inner| UnauthWrapperMsg::Es {
+                    slot: slot_idx,
+                    inner,
+                });
+            }
+            Active::Class(sub) => {
+                let s = sub_inbox(inbox, |m| match m {
+                    UnauthWrapperMsg::Class { slot, inner } if *slot == slot_idx => {
+                        Some(Arc::clone(inner))
+                    }
+                    _ => None,
+                });
+                let mut so = Outbox::new(self.me, self.n);
+                sub.step(local, &s, &mut so);
+                forward_sub(so, out, |inner| UnauthWrapperMsg::Class {
+                    slot: slot_idx,
+                    inner,
+                });
+            }
+            Active::None => {}
+        }
+    }
+
+    /// Applies the wrapper's per-slot transition (the numbered lines of
+    /// Algorithm 1). Returns `true` if the process returned.
+    fn finalize_slot(&mut self) -> bool {
+        let slot: Slot = self.schedule.slots[self.cursor];
+        let active = std::mem::replace(&mut self.active, Active::None);
+        match (slot.kind, active) {
+            (SlotKind::Classify, Active::Classify(sub)) => {
+                let c = sub.output().expect("classification ready");
+                self.order = Some(Arc::new(pi_order(&c)));
+                self.classification = Some(c);
+            }
+            (SlotKind::GcA { .. } | SlotKind::GcB { .. }, Active::Gc(sub)) => {
+                let g = sub.output().expect("graded consensus ready");
+                self.value = g.value;
+                self.grade = g.paper_grade();
+            }
+            (SlotKind::Es { .. }, Active::Es(sub)) => {
+                let v = sub.output().expect("early stopping ready");
+                if self.grade == 0 {
+                    self.value = v;
+                }
+            }
+            (SlotKind::Class { .. }, Active::Class(sub)) => {
+                let o = sub.output().expect("Algorithm 5 ready");
+                if self.grade == 0 {
+                    self.value = o.value;
+                }
+            }
+            (SlotKind::GcC { phase }, Active::Gc(sub)) => {
+                let g = sub.output().expect("graded consensus ready");
+                self.value = g.value;
+                if self.decision.is_some() {
+                    self.returned = true; // line 13
+                    return true;
+                }
+                if g.paper_grade() == 1 {
+                    self.decision = Some(g.value); // lines 14–16
+                    self.decision_phase = Some(phase);
+                }
+            }
+            (kind, _) => unreachable!("slot {kind:?} finalized with mismatched sub-protocol"),
+        }
+        false
+    }
+
+    fn start_slot(&mut self) {
+        let slot = self.schedule.slots[self.cursor];
+        self.active = match slot.kind {
+            SlotKind::Classify => unreachable!("classify is constructed up front"),
+            SlotKind::GcA { .. } | SlotKind::GcB { .. } | SlotKind::GcC { .. } => {
+                Active::Gc(UnauthGraded::new(self.me, self.n, self.t, self.value))
+            }
+            SlotKind::Es { k, .. } => {
+                Active::Es(EsUnauth::new(self.me, self.n, self.t, k, self.value))
+            }
+            SlotKind::Class { k, .. } => {
+                let order = Arc::clone(self.order.as_ref().expect("classified before phase 1"));
+                Active::Class(UnauthBaWithClassification::new(
+                    self.me, self.n, k, self.value, order,
+                ))
+            }
+        };
+    }
+}
+
+impl Process for UnauthWrapper {
+    type Msg = UnauthWrapperMsg;
+    type Output = Value;
+
+    fn step(&mut self, round: u64, inbox: &[Envelope<UnauthWrapperMsg>], out: &mut Outbox<UnauthWrapperMsg>) {
+        if self.returned {
+            return;
+        }
+        let slot = self.schedule.slots[self.cursor];
+        if round == slot.end {
+            // The slot's output step: feed it this step's inbox, read the
+            // result, and (in the same step) start the next slot.
+            self.drive(round - slot.start, inbox, out);
+            if self.finalize_slot() {
+                return;
+            }
+            if self.cursor + 1 == self.schedule.slots.len() {
+                // Line 17: the schedule is exhausted.
+                if self.decision.is_none() {
+                    self.decision = Some(self.value);
+                }
+                self.returned = true;
+                return;
+            }
+            self.cursor += 1;
+            self.start_slot();
+            self.drive(0, inbox, out);
+        } else {
+            debug_assert!(round >= slot.start && round < slot.end);
+            self.drive(round - slot.start, inbox, out);
+        }
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.decision
+    }
+
+    fn halted(&self) -> bool {
+        self.returned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prediction::PredictionMatrix;
+    use ba_sim::{Runner, SilentAdversary};
+    use std::collections::BTreeSet;
+
+    fn run(
+        n: usize,
+        t: usize,
+        faulty: &[u32],
+        inputs: &[u64],
+        matrix: &PredictionMatrix,
+        max_rounds: u64,
+    ) -> ba_sim::RunReport<Value> {
+        let faulty: BTreeSet<ProcessId> = faulty.iter().copied().map(ProcessId).collect();
+        let mut honest = std::collections::BTreeMap::new();
+        let mut next_input = inputs.iter().copied();
+        for id in ProcessId::all(n) {
+            if faulty.contains(&id) {
+                continue;
+            }
+            let v = Value(next_input.next().expect("enough inputs"));
+            honest.insert(
+                id,
+                UnauthWrapper::new(id, n, t, v, matrix.row(id).clone()),
+            );
+        }
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        runner.run(max_rounds)
+    }
+
+    #[test]
+    fn unanimity_with_perfect_predictions_decides_fast() {
+        let n = 16;
+        let t = 5;
+        let f: BTreeSet<ProcessId> = [14u32, 15].into_iter().map(ProcessId).collect();
+        let m = PredictionMatrix::perfect(n, &f);
+        let report = run(n, t, &[14, 15], &[7; 14], &m, 400);
+        assert!(report.agreement());
+        assert_eq!(report.decision(), Some(&Value(7)));
+    }
+
+    #[test]
+    fn mixed_inputs_agree_with_perfect_predictions() {
+        let n = 16;
+        let t = 5;
+        let f: BTreeSet<ProcessId> = [13u32, 15].into_iter().map(ProcessId).collect();
+        let m = PredictionMatrix::perfect(n, &f);
+        let inputs: Vec<u64> = (0..14).map(|i| i % 2).collect();
+        let report = run(n, t, &[13, 15], &inputs, &m, 400);
+        assert!(report.agreement());
+        let d = report.decision().unwrap();
+        assert!(*d == Value(0) || *d == Value(1), "validity of domain");
+    }
+
+    #[test]
+    fn garbage_predictions_still_terminate_and_agree() {
+        // Predictions are pure noise (all-zeros: everyone suspected);
+        // the early-stopping path must carry the day.
+        let n = 16;
+        let t = 5;
+        let rows = vec![BitVec::zeros(n); n];
+        let m = PredictionMatrix::from_rows(rows);
+        let inputs: Vec<u64> = (0..14).map(|i| i % 3).collect();
+        let report = run(n, t, &[7, 11], &inputs, &m, 600);
+        assert!(report.agreement(), "graceful degradation");
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_finite() {
+        let s1 = UnauthWrapper::schedule(16, 5);
+        let s2 = UnauthWrapper::schedule(16, 5);
+        assert_eq!(s1.total_steps, s2.total_steps);
+        assert_eq!(s1.slots.len(), s2.slots.len());
+        assert!(s1.total_steps < 1000);
+    }
+
+    #[test]
+    fn decision_never_changes_after_set() {
+        let n = 16;
+        let t = 5;
+        let f = BTreeSet::new();
+        let m = PredictionMatrix::perfect(n, &f);
+        let report = run(n, t, &[], &[4; 16], &m, 400);
+        assert!(report.agreement());
+        assert_eq!(report.decision(), Some(&Value(4)));
+    }
+}

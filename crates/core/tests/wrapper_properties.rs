@@ -1,0 +1,132 @@
+//! Property-based verification of the Algorithm 1 wrapper's internal
+//! contracts: classification feeds π(c) correctly, schedules are
+//! consistent, and the wrapper's safety survives prediction matrices of
+//! arbitrary shape (not just budgeted ones).
+
+use ba_core::{
+    phase_budget, phase_count, pi_order, truth_vector, BitVec, Classify, PredictionMatrix,
+    SlotKind, UnauthWrapper,
+};
+use ba_sim::{ProcessId, Runner, SilentAdversary, Value};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn arbitrary_matrix(n: usize) -> impl Strategy<Value = PredictionMatrix> {
+    proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, n), n)
+        .prop_map(|rows| {
+            PredictionMatrix::from_rows(rows.into_iter().map(|r| BitVec::from_bools(&r)).collect())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The wrapper satisfies Agreement and Termination for *arbitrary*
+    /// prediction matrices — the matrix is adversary-chosen state, not
+    /// trusted input.
+    #[test]
+    fn wrapper_safe_under_arbitrary_predictions(
+        matrix in arbitrary_matrix(13),
+        f in 0usize..4,
+        unanimous in proptest::bool::ANY,
+    ) {
+        let n = 13;
+        let t = 4;
+        let faulty: BTreeSet<ProcessId> = (0..f as u32).map(ProcessId).collect();
+        let honest: BTreeMap<ProcessId, UnauthWrapper> = ProcessId::all(n)
+            .filter(|p| !faulty.contains(p))
+            .enumerate()
+            .map(|(slot, id)| {
+                let v = if unanimous { Value(3) } else { Value(1 + (slot % 2) as u64) };
+                (id, UnauthWrapper::new(id, n, t, v, matrix.row(id).clone()))
+            })
+            .collect();
+        let budget = UnauthWrapper::schedule(n, t).total_steps + 4;
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        let report = runner.run(budget);
+        prop_assert!(report.agreement(), "agreement under arbitrary predictions");
+        if unanimous {
+            prop_assert_eq!(report.decision(), Some(&Value(3)));
+        }
+    }
+
+    /// Classification tally is symmetric: with all-honest voters the
+    /// resulting vectors are identical across processes, and each bit
+    /// reflects the strict majority of prediction bits.
+    #[test]
+    fn classification_majority_is_exact(
+        matrix in arbitrary_matrix(9),
+    ) {
+        let n = 9;
+        let honest: BTreeMap<ProcessId, Classify> = ProcessId::all(n)
+            .map(|id| (id, Classify::new(id, n, matrix.row(id).clone())))
+            .collect();
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        let report = runner.run(3);
+        let first = report.outputs.values().next().expect("decided").clone();
+        for c in report.outputs.values() {
+            prop_assert_eq!(c, &first, "all-honest classification must be identical");
+        }
+        let threshold = Classify::threshold(n);
+        for j in 0..n {
+            let votes = ProcessId::all(n).filter(|&i| matrix.row(i).get(j)).count();
+            prop_assert_eq!(first.get(j), votes >= threshold, "bit {}", j);
+        }
+    }
+
+    /// π(c) is a permutation, lists classified-honest ids first, and is
+    /// monotone within each class.
+    #[test]
+    fn pi_order_is_a_classified_permutation(
+        bits in proptest::collection::vec(proptest::bool::ANY, 3..40),
+    ) {
+        let c = BitVec::from_bools(&bits);
+        let order = pi_order(&c);
+        let n = bits.len();
+        let as_set: BTreeSet<ProcessId> = order.iter().copied().collect();
+        prop_assert_eq!(as_set.len(), n, "permutation");
+        let honest_count = c.count_ones();
+        for (pos, id) in order.iter().enumerate() {
+            prop_assert_eq!(c.get(id.index()), pos < honest_count);
+        }
+        for w in order[..honest_count].windows(2) {
+            prop_assert!(w[0] < w[1], "honest prefix ascending");
+        }
+        for w in order[honest_count..].windows(2) {
+            prop_assert!(w[0] < w[1], "faulty suffix ascending");
+        }
+    }
+
+    /// Schedule structure: phases follow ⌈log₂ t⌉ + 1 with doubling
+    /// budgets, slots tile the timeline, Class slots appear only while
+    /// structurally valid.
+    #[test]
+    fn schedule_structure(n in 10usize..60, t_raw in 1usize..20) {
+        let t = t_raw.min((n - 1) / 3).max(1);
+        let s = UnauthWrapper::schedule(n, t);
+        prop_assert_eq!(s.phases, phase_count(t));
+        for w in s.slots.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start, "slots must tile");
+        }
+        for slot in &s.slots {
+            if let SlotKind::Class { phase, k } = slot.kind {
+                prop_assert_eq!(k, phase_budget(phase));
+                prop_assert!((2 * k + 1) * (3 * k + 1) <= n, "invalid Class slot scheduled");
+            }
+        }
+    }
+
+    /// The perfect-prediction truth vector classifies exactly the fault
+    /// set, so downstream orderings push precisely the faulty ids last.
+    #[test]
+    fn truth_vector_round_trip(
+        faulty_raw in proptest::collection::btree_set(0u32..20, 0..7),
+    ) {
+        let n = 20;
+        let faulty: BTreeSet<ProcessId> = faulty_raw.into_iter().map(ProcessId).collect();
+        let c = truth_vector(n, &faulty);
+        let order = pi_order(&c);
+        let tail: BTreeSet<ProcessId> = order[n - faulty.len()..].iter().copied().collect();
+        prop_assert_eq!(tail, faulty);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the cryptographic substrate: streaming/one-shot
+//! equivalence for SHA-256, signature binding under random inputs, and
+//! encoder injectivity on structured inputs.
+
+use ba_crypto::{sha256, Encoder, Pki, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Chunked hashing equals one-shot hashing for arbitrary data and
+    /// arbitrary chunk boundaries.
+    #[test]
+    fn sha256_streaming_equals_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        splits in proptest::collection::vec(0usize..600, 0..6),
+    ) {
+        let whole = sha256(&data);
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for &c in &cuts {
+            h.update(&data[prev..c]);
+            prev = c;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), whole);
+    }
+
+    /// Distinct (signer, message) pairs never cross-verify.
+    #[test]
+    fn signatures_bind_signer_and_message(
+        msg_a in proptest::collection::vec(any::<u8>(), 1..64),
+        msg_b in proptest::collection::vec(any::<u8>(), 1..64),
+        ids in (0u32..8, 0u32..8),
+        seed in 0u64..1000,
+    ) {
+        let pki = Pki::new(8, seed);
+        let (ia, ib) = ids;
+        let sig = pki.signing_key(ia).sign(&msg_a);
+        prop_assert!(pki.verify(&msg_a, &sig));
+        if msg_a != msg_b {
+            prop_assert!(!pki.verify(&msg_b, &sig), "message substitution accepted");
+        }
+        if ia != ib {
+            let other = pki.signing_key(ib).sign(&msg_a);
+            prop_assert_ne!(sig, other, "two signers produced the same tag");
+        }
+    }
+
+    /// Length-prefixed encodings are injective over (bytes, bytes) pairs:
+    /// no two distinct pairs share a canonical encoding — the property
+    /// that makes signatures over encoded compounds unambiguous.
+    #[test]
+    fn encoder_pairs_are_injective(
+        a1 in proptest::collection::vec(any::<u8>(), 0..24),
+        a2 in proptest::collection::vec(any::<u8>(), 0..24),
+        b1 in proptest::collection::vec(any::<u8>(), 0..24),
+        b2 in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let enc = |x: &[u8], y: &[u8]| {
+            let mut e = Encoder::new("pair");
+            e.bytes(x).bytes(y);
+            e.finish()
+        };
+        if (a1.clone(), a2.clone()) != (b1.clone(), b2.clone()) {
+            prop_assert_ne!(enc(&a1, &a2), enc(&b1, &b2));
+        } else {
+            prop_assert_eq!(enc(&a1, &a2), enc(&b1, &b2));
+        }
+    }
+
+    /// Cross-seed PKIs never validate each other's signatures (fresh
+    /// executions cannot replay old-execution credentials).
+    #[test]
+    fn cross_execution_signatures_invalid(
+        msg in proptest::collection::vec(any::<u8>(), 1..32),
+        seed_a in 0u64..500,
+        seed_b in 501u64..1000,
+    ) {
+        let pki_a = Pki::new(4, seed_a);
+        let pki_b = Pki::new(4, seed_b);
+        let sig = pki_a.signing_key(2).sign(&msg);
+        prop_assert!(!pki_b.verify(&msg, &sig));
+    }
+}

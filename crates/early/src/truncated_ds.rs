@@ -1,0 +1,252 @@
+//! Truncated parallel Dolev–Strong agreement (`t < n/2`, authenticated)
+//! — substitution S5.
+//!
+//! The paper's wrapper needs an authenticated early-stopping agreement
+//! (Theorem 10). We reuse the paper's own Algorithm 6 in
+//! [`CommitteeMode::Universal`]: every process broadcasts its input
+//! through a chain-signed broadcast instance truncated at `k + 1` rounds,
+//! then everyone takes the plurality of the delivered vector.
+//!
+//! *Conditional correctness.* If the actual fault count satisfies
+//! `f ≤ k`, every length-`k+1` chain carries an honest link, so this is
+//! exactly `n` parallel Dolev–Strong broadcasts: all honest processes
+//! agree on every instance's output, and the (smallest-most-frequent,
+//! `⊥`-free) plurality yields Agreement; with unanimous honest inputs
+//! `v`, honest instances (a strict majority, `n − f > n/2`) all deliver
+//! `v`, so the plurality is `v` — Strong Unanimity.
+//!
+//! With `f > k` nothing is guaranteed — the wrapper's graded-consensus
+//! sandwich protects safety, and a later (larger-`k`) phase completes the
+//! job. At `k = t` this is a full Dolev–Strong run and unconditionally
+//! correct for `t < n/2`: that configuration, [`TruncatedDs::full`], is
+//! also the repository's prediction-free authenticated baseline.
+
+use ba_auth::bb_committee::{BbBatch, CommitteeMode, ParallelBroadcast};
+use ba_crypto::{Pki, SigningKey};
+use ba_sim::{plurality_smallest, Envelope, Outbox, Process, ProcessId, Value};
+use std::sync::Arc;
+
+/// One process's state machine for truncated parallel Dolev–Strong
+/// agreement.
+///
+/// Runs in `k + 1` communication rounds; the output is available at step
+/// `k + 1`.
+pub struct TruncatedDs {
+    inner: ParallelBroadcast,
+    input: Value,
+    k: usize,
+    out: Option<Value>,
+}
+
+impl std::fmt::Debug for TruncatedDs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TruncatedDs")
+            .field("k", &self.k)
+            .field("input", &self.input)
+            .field("out", &self.out)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TruncatedDs {
+    /// Rounds used: `k + 1`.
+    pub fn rounds(k: usize) -> u64 {
+        k as u64 + 1
+    }
+
+    /// Creates the state machine for process `me` with fault budget `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2t < n`.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        t: usize,
+        k: usize,
+        session: u64,
+        input: Value,
+        pki: Arc<Pki>,
+        key: SigningKey,
+    ) -> Self {
+        assert!(2 * t < n, "authenticated agreement needs 2t < n");
+        let inner = ParallelBroadcast::new(
+            me,
+            n,
+            t,
+            k,
+            session,
+            CommitteeMode::Universal,
+            input,
+            None,
+            pki,
+            key,
+        );
+        TruncatedDs {
+            inner,
+            input,
+            k,
+            out: None,
+        }
+    }
+
+    /// A full, unconditionally correct Dolev–Strong run (`k = t`): the
+    /// authenticated prediction-free baseline.
+    pub fn full(
+        me: ProcessId,
+        n: usize,
+        t: usize,
+        session: u64,
+        input: Value,
+        pki: Arc<Pki>,
+        key: SigningKey,
+    ) -> Self {
+        Self::new(me, n, t, t, session, input, pki, key)
+    }
+}
+
+impl Process for TruncatedDs {
+    type Msg = BbBatch;
+    type Output = Value;
+
+    fn step(&mut self, round: u64, inbox: &[Envelope<BbBatch>], out: &mut Outbox<BbBatch>) {
+        if self.out.is_some() {
+            return;
+        }
+        self.inner.step(round, inbox, out);
+        if round == self.k as u64 + 1 {
+            let outputs = self
+                .inner
+                .outputs()
+                .expect("parallel broadcast outputs after k+1 rounds");
+            self.out = Some(
+                plurality_smallest(outputs.iter().flatten().copied())
+                    .unwrap_or(self.input),
+            );
+        }
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.out
+    }
+
+    fn halted(&self) -> bool {
+        self.out.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_auth::chains::MessageChain;
+    use ba_sim::{AdversaryCtx, FnAdversary, Runner, SilentAdversary};
+
+    fn system(
+        n: usize,
+        t: usize,
+        k: usize,
+        session: u64,
+        inputs: &[u64],
+        pki: &Arc<Pki>,
+    ) -> Vec<TruncatedDs> {
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                TruncatedDs::new(
+                    ProcessId(i as u32),
+                    n,
+                    t,
+                    k,
+                    session,
+                    Value(v),
+                    Arc::clone(pki),
+                    pki.signing_key(i as u32),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strong_unanimity_beyond_one_third_faults() {
+        // n = 5, t = 2 silent faults: impossible without signatures.
+        let n = 5;
+        let pki = Arc::new(Pki::new(n, 3));
+        let mut runner = Runner::new(n, system(n, 2, 2, 1, &[4, 4, 4], &pki), SilentAdversary);
+        let report = runner.run(8);
+        assert!(report.agreement());
+        assert_eq!(report.decision(), Some(&Value(4)));
+        assert_eq!(report.last_decision_round, Some(TruncatedDs::rounds(2)));
+    }
+
+    #[test]
+    fn agreement_mixed_inputs_f_within_budget() {
+        let n = 7;
+        let pki = Arc::new(Pki::new(n, 9));
+        // f = 2 silent ≤ k = 2.
+        let mut runner = Runner::new(n, system(n, 3, 2, 1, &[0, 1, 0, 1, 0], &pki), SilentAdversary);
+        let report = runner.run(10);
+        assert!(report.agreement());
+        // Plurality of delivered honest inputs: three 0s, two 1s.
+        assert_eq!(report.decision(), Some(&Value(0)));
+    }
+
+    #[test]
+    fn equivocating_sender_collapses_to_bottom_consistently() {
+        let n = 5;
+        let t = 2;
+        let session = 4;
+        let pki = Arc::new(Pki::new(n, 17));
+        let key4 = pki.signing_key(4);
+        let adv = FnAdversary::new(move |ctx: &mut AdversaryCtx<'_, BbBatch>| {
+            if ctx.round == 0 {
+                let a = MessageChain::start(session, 4, Value(70), &key4, None);
+                let b = MessageChain::start(session, 4, Value(80), &key4, None);
+                // a to everyone, b only to p0 — p0 must spread it.
+                ctx.broadcast(ProcessId(4), vec![(4, a)]);
+                ctx.send(ProcessId(4), ProcessId(0), vec![(4, b)]);
+            }
+        });
+        let mut runner = Runner::new(n, system(n, t, 1, session, &[2, 2, 2, 2], &pki), adv);
+        let report = runner.run(8);
+        assert!(report.agreement());
+        assert_eq!(report.decision(), Some(&Value(2)), "unanimity survives");
+    }
+
+    #[test]
+    fn full_run_is_unconditionally_correct() {
+        // k = t: adversary count f = t, mixed inputs — still agreement.
+        let n = 5;
+        let t = 2;
+        let pki = Arc::new(Pki::new(n, 23));
+        let procs: Vec<TruncatedDs> = [7u64, 8, 7]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                TruncatedDs::full(
+                    ProcessId(i as u32),
+                    n,
+                    t,
+                    6,
+                    Value(v),
+                    Arc::clone(&pki),
+                    pki.signing_key(i as u32),
+                )
+            })
+            .collect();
+        let mut runner = Runner::new(n, procs, SilentAdversary);
+        let report = runner.run(10);
+        assert!(report.agreement());
+        assert_eq!(report.decision(), Some(&Value(7)));
+    }
+
+    #[test]
+    fn rounds_scale_with_k_not_t() {
+        let n = 9;
+        let t = 4;
+        let pki = Arc::new(Pki::new(n, 2));
+        let mut runner = Runner::new(n, system(n, t, 1, 1, &[3; 9], &pki), SilentAdversary);
+        let report = runner.run(10);
+        assert_eq!(report.last_decision_round, Some(2), "k+1 = 2 rounds");
+    }
+}

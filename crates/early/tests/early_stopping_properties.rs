@@ -1,0 +1,110 @@
+//! Property-based verification of the early-stopping substrates (S4/S5):
+//! conditional correctness (`f ≤ k` ⇒ agreement + unanimity within the
+//! advertised rounds) and unconditional safety of the full baselines.
+
+use ba_crypto::Pki;
+use ba_early::{EsUnauth, PhaseKing, TruncatedDs};
+use ba_sim::{ProcessId, Runner, SilentAdversary, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Phase-king with f ≤ t silent faults: agreement within 5(f+2)
+    /// rounds — the early-stopping bound — not merely within the full
+    /// t+2-phase budget.
+    #[test]
+    fn phase_king_early_stops(
+        n in 7usize..16,
+        f_frac in 0usize..=100,
+        split in proptest::bool::ANY,
+    ) {
+        let t = (n - 1) / 3;
+        let f = t * f_frac / 100;
+        let honest: BTreeMap<ProcessId, PhaseKing> = ProcessId::all(n)
+            .skip(f)
+            .enumerate()
+            .map(|(slot, id)| {
+                let v = if split { Value(1 + (slot % 2) as u64) } else { Value(5) };
+                (id, PhaseKing::full(id, n, t, v))
+            })
+            .collect();
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        let report = runner.run(PhaseKing::rounds(t + 2) + 2);
+        prop_assert!(report.agreement());
+        let last = report.last_decision_round.expect("all decided");
+        prop_assert!(
+            last <= PhaseKing::rounds(f + 2) + 1,
+            "decided at {}, early-stopping bound {}",
+            last,
+            PhaseKing::rounds(f + 2)
+        );
+        if !split {
+            let d = report.decision().expect("agreement checked");
+            prop_assert_eq!(d.decision, Some(Value(5)));
+        }
+    }
+
+    /// Truncated Dolev–Strong with f ≤ k: agreement + unanimity in
+    /// exactly k+1 rounds; at k = t it is the unconditional baseline.
+    #[test]
+    fn truncated_ds_conditional_contract(
+        n in 5usize..12,
+        k in 1usize..4,
+        f_frac in 0usize..=100,
+        seed in 0u64..500,
+        split in proptest::bool::ANY,
+    ) {
+        let t = (n - 1) / 2;
+        prop_assume!(k <= t);
+        let f = (k * f_frac / 100).min(t);
+        let pki = Arc::new(Pki::new(n, seed));
+        let honest: BTreeMap<ProcessId, TruncatedDs> = ProcessId::all(n)
+            .skip(f)
+            .enumerate()
+            .map(|(slot, id)| {
+                let v = if split { Value(1 + (slot % 2) as u64) } else { Value(6) };
+                (
+                    id,
+                    TruncatedDs::new(id, n, t, k, seed, v, Arc::clone(&pki), pki.signing_key(id.0)),
+                )
+            })
+            .collect();
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        let report = runner.run(TruncatedDs::rounds(k) + 2);
+        prop_assert!(report.agreement(), "f = {f} ≤ k = {k} must agree");
+        prop_assert_eq!(report.last_decision_round, Some(TruncatedDs::rounds(k)));
+        if !split {
+            prop_assert_eq!(report.decision(), Some(&Value(6)));
+        }
+    }
+
+    /// The dispatcher picks a protocol whose advertised rounds are kept,
+    /// and the choice is consistent across all processes (a divergent
+    /// choice would deadlock the lockstep schedule).
+    #[test]
+    fn dispatcher_rounds_are_exact(
+        n in 10usize..24,
+        k in 1usize..6,
+    ) {
+        let t = (n - 1) / 3;
+        prop_assume!(t >= 1);
+        let rounds = EsUnauth::rounds(n, t, k);
+        let procs: Vec<EsUnauth> = (0..n)
+            .map(|i| EsUnauth::new(ProcessId(i as u32), n, t, k, Value(1 + (i % 2) as u64)))
+            .collect();
+        let same_kind = procs
+            .windows(2)
+            .all(|w| matches!(
+                (&w[0], &w[1]),
+                (EsUnauth::Alg5(_), EsUnauth::Alg5(_)) | (EsUnauth::King(_), EsUnauth::King(_))
+            ));
+        prop_assert!(same_kind, "dispatch must be deterministic in (n, t, k)");
+        let mut runner = Runner::new(n, procs, SilentAdversary);
+        let report = runner.run(rounds + 2);
+        prop_assert!(report.all_decided(), "must finish within EsUnauth::rounds");
+        prop_assert!(report.last_decision_round.expect("decided") <= rounds + 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Core identifier and value newtypes shared by every protocol crate.
+
+use std::fmt;
+
+/// Identifier of a process in a system of `n` processes.
+///
+/// Identifiers are `0 ..= n-1`. The paper (§3) numbers processes `p1 … pn`;
+/// we use zero-based indices throughout and translate the paper's
+/// positional lemmas accordingly (documented where it matters, e.g. in
+/// `ba-core`'s ordering module).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all identifiers of a system of `n` processes.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+        (0..n as u32).map(ProcessId)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// A proposal / decision value.
+///
+/// The paper's agreement protocols require only an ordered, hashable value
+/// domain (ties are broken toward the smallest value, and conciliation
+/// takes minima). A `u64` payload keeps the simulator fast while remaining
+/// general: applications can hash arbitrary proposals into it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(pub u64);
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn process_id_ordering_follows_numeric_order() {
+        let ids: Vec<ProcessId> = ProcessId::all(5).collect();
+        assert_eq!(ids.len(), 5);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ids[3].index(), 3);
+    }
+
+    #[test]
+    fn process_id_display_and_debug() {
+        assert_eq!(format!("{}", ProcessId(7)), "p7");
+        assert_eq!(format!("{:?}", ProcessId(7)), "p7");
+    }
+
+    #[test]
+    fn value_ordering_and_conversion() {
+        let a: Value = 3u64.into();
+        let b = Value(9);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "v3");
+    }
+
+    #[test]
+    fn ids_usable_in_ordered_sets() {
+        let set: BTreeSet<ProcessId> = [2u32, 0, 1].into_iter().map(ProcessId).collect();
+        let ordered: Vec<u32> = set.into_iter().map(|p| p.0).collect();
+        assert_eq!(ordered, vec![0, 1, 2]);
+    }
+}

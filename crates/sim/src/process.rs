@@ -1,0 +1,73 @@
+//! The protocol state-machine trait driven by the runner.
+
+use crate::envelope::{Envelope, Outbox};
+
+/// A deterministic synchronous protocol state machine for one process.
+///
+/// The runner calls [`step`](Process::step) once per round with the
+/// messages received since the previous step; implementations update state
+/// and queue outgoing messages. A protocol that has produced its result
+/// reports it through [`output`](Process::output); once it additionally has
+/// no further role to play (it will never send again) it reports
+/// [`halted`](Process::halted) and the runner stops scheduling it.
+///
+/// `output` and `halted` are deliberately separate: in the paper's wrapper
+/// (Algorithm 1) a process *decides* in some phase but keeps participating
+/// for one more phase so that slower processes can also decide — i.e. it
+/// has an output long before it halts.
+pub trait Process {
+    /// Message type exchanged by this protocol.
+    type Msg: Clone;
+    /// Result produced by this protocol.
+    type Output: Clone;
+
+    /// Advances one synchronous round.
+    ///
+    /// `round` counts `0, 1, 2, …`; `inbox` holds the envelopes addressed
+    /// to this process that were sent during round `round − 1` (empty at
+    /// round 0), sorted by sender identifier (stable for equal senders).
+    fn step(&mut self, round: u64, inbox: &[Envelope<Self::Msg>], out: &mut Outbox<Self::Msg>);
+
+    /// The decision, once reached.
+    fn output(&self) -> Option<Self::Output>;
+
+    /// True once this process will never send another message.
+    fn halted(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ProcessId;
+
+    /// A process that counts rounds and stops after a fixed number.
+    struct Countdown {
+        left: u64,
+    }
+
+    impl Process for Countdown {
+        type Msg = ();
+        type Output = u64;
+        fn step(&mut self, _round: u64, _inbox: &[Envelope<()>], _out: &mut Outbox<()>) {
+            self.left = self.left.saturating_sub(1);
+        }
+        fn output(&self) -> Option<u64> {
+            (self.left == 0).then_some(0)
+        }
+        fn halted(&self) -> bool {
+            self.left == 0
+        }
+    }
+
+    #[test]
+    fn trait_is_usable_as_a_plain_state_machine() {
+        let mut p = Countdown { left: 2 };
+        let mut out = Outbox::new(ProcessId(0), 1);
+        assert!(p.output().is_none());
+        p.step(0, &[], &mut out);
+        assert!(!p.halted());
+        p.step(1, &[], &mut out);
+        assert!(p.halted());
+        assert_eq!(p.output(), Some(0));
+    }
+}

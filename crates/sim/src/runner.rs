@@ -1,0 +1,443 @@
+//! Lockstep execution engine with complexity instrumentation.
+
+use crate::adversary::{Adversary, AdversaryCtx};
+use crate::envelope::{Envelope, Outbox};
+use crate::id::ProcessId;
+use crate::process::Process;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-round accounting, retained for the whole run.
+#[derive(Clone, Debug, Default)]
+pub struct RoundTrace {
+    /// Messages sent by honest processes this round (self-copies excluded).
+    pub honest_messages: u64,
+    /// Messages sent by faulty processes this round (self-copies excluded).
+    pub faulty_messages: u64,
+}
+
+/// The outcome and cost profile of one synchronous execution.
+#[derive(Clone, Debug)]
+pub struct RunReport<O> {
+    /// Number of honest processes.
+    pub honest_count: usize,
+    /// Decision of each honest process that produced one.
+    pub outputs: BTreeMap<ProcessId, O>,
+    /// Round at which each honest process first reported an output.
+    pub decision_round: BTreeMap<ProcessId, u64>,
+    /// Round at which the *last* honest process decided — the paper's time
+    /// complexity measure — if all of them did.
+    pub last_decision_round: Option<u64>,
+    /// Total messages sent by honest processes over the run (self-copies
+    /// excluded) — the paper's message complexity measure.
+    pub honest_messages: u64,
+    /// Messages sent by honest processes up to and including the round in
+    /// which the last honest process decided (the paper counts messages
+    /// "up until they decide").
+    pub honest_messages_until_decision: u64,
+    /// Per-process message counts (self-copies excluded).
+    pub messages_per_process: BTreeMap<ProcessId, u64>,
+    /// Per-round traces.
+    pub rounds: Vec<RoundTrace>,
+    /// Rounds actually executed.
+    pub rounds_executed: u64,
+}
+
+impl<O: Clone + Eq> RunReport<O> {
+    /// Whether every honest process produced an output.
+    pub fn all_decided(&self) -> bool {
+        self.outputs.len() == self.honest_count
+    }
+
+    /// Whether every honest process decided, and on the same value
+    /// (the paper's Agreement property).
+    pub fn agreement(&self) -> bool {
+        if !self.all_decided() {
+            return false;
+        }
+        let mut it = self.outputs.values();
+        match it.next() {
+            None => true,
+            Some(first) => it.all(|o| o == first),
+        }
+    }
+
+    /// The common decision, if agreement holds.
+    pub fn decision(&self) -> Option<&O> {
+        if self.agreement() {
+            self.outputs.values().next()
+        } else {
+            None
+        }
+    }
+}
+
+/// Drives honest processes and one adversary in lockstep rounds.
+///
+/// Honest processes are stepped in identifier order; the adversary then
+/// acts with full visibility of the round's honest traffic (rushing).
+/// All round-`r` traffic is delivered, sorted by sender, as the step-`r+1`
+/// inboxes.
+pub struct Runner<P: Process, A> {
+    n: usize,
+    honest: BTreeMap<ProcessId, P>,
+    adversary: A,
+    corrupted: BTreeSet<ProcessId>,
+    inboxes: BTreeMap<ProcessId, Vec<Envelope<P::Msg>>>,
+    round: u64,
+    report: RunReport<P::Output>,
+}
+
+impl<P, A> Runner<P, A>
+where
+    P: Process,
+    A: Adversary<P::Msg>,
+{
+    /// Creates a runner for a fully honest system: `honest` are assigned
+    /// identifiers `0 ..` in order; the adversary controls the remaining
+    /// identifiers `honest.len() .. n`.
+    ///
+    /// For arbitrary corruption patterns use [`Runner::with_ids`].
+    pub fn new<I>(n: usize, honest: I, adversary: A) -> Self
+    where
+        I: IntoIterator<Item = P>,
+    {
+        let honest: BTreeMap<ProcessId, P> = honest
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (ProcessId(i as u32), p))
+            .collect();
+        let corrupted: BTreeSet<ProcessId> = ProcessId::all(n)
+            .filter(|id| !honest.contains_key(id))
+            .collect();
+        Self::with_parts(n, honest, corrupted, adversary)
+    }
+
+    /// Creates a runner with an explicit honest-process map; every
+    /// identifier in `0..n` absent from the map is corrupted.
+    pub fn with_ids(n: usize, honest: BTreeMap<ProcessId, P>, adversary: A) -> Self {
+        let corrupted: BTreeSet<ProcessId> = ProcessId::all(n)
+            .filter(|id| !honest.contains_key(id))
+            .collect();
+        Self::with_parts(n, honest, corrupted, adversary)
+    }
+
+    fn with_parts(
+        n: usize,
+        honest: BTreeMap<ProcessId, P>,
+        corrupted: BTreeSet<ProcessId>,
+        adversary: A,
+    ) -> Self {
+        assert!(n >= 1, "a system needs at least one process");
+        assert!(
+            honest.keys().all(|id| id.index() < n),
+            "honest identifier out of range"
+        );
+        let honest_count = honest.len();
+        Runner {
+            n,
+            honest,
+            adversary,
+            corrupted,
+            inboxes: BTreeMap::new(),
+            round: 0,
+            report: RunReport {
+                honest_count,
+                outputs: BTreeMap::new(),
+                decision_round: BTreeMap::new(),
+                last_decision_round: None,
+                honest_messages: 0,
+                honest_messages_until_decision: 0,
+                messages_per_process: BTreeMap::new(),
+                rounds: Vec::new(),
+                rounds_executed: 0,
+            },
+        }
+    }
+
+    /// Identifiers the adversary controls.
+    pub fn corrupted(&self) -> &BTreeSet<ProcessId> {
+        &self.corrupted
+    }
+
+    /// Executes one synchronous round. Returns `true` while any honest
+    /// process is still participating.
+    pub fn step(&mut self) -> bool {
+        let round = self.round;
+        let mut trace = RoundTrace::default();
+        let mut honest_traffic: Vec<Envelope<P::Msg>> = Vec::new();
+
+        for (&id, proc) in self.honest.iter_mut() {
+            if proc.halted() {
+                continue;
+            }
+            let inbox = self.inboxes.remove(&id).unwrap_or_default();
+            let mut out = Outbox::new(id, self.n);
+            proc.step(round, &inbox, &mut out);
+            let envs = out.into_envelopes();
+            let remote = envs.iter().filter(|e| e.to != e.from).count() as u64;
+            trace.honest_messages += remote;
+            *self.report.messages_per_process.entry(id).or_insert(0) += remote;
+            honest_traffic.extend(envs);
+
+            if let Some(o) = proc.output() {
+                self.report.outputs.entry(id).or_insert(o);
+                self.report.decision_round.entry(id).or_insert(round);
+            }
+        }
+
+        // Rushing adversary: acts after seeing this round's honest traffic.
+        let faulty_inboxes: BTreeMap<ProcessId, Vec<Envelope<P::Msg>>> = self
+            .corrupted
+            .iter()
+            .map(|&id| (id, self.inboxes.remove(&id).unwrap_or_default()))
+            .collect();
+        let mut ctx = AdversaryCtx {
+            round,
+            n: self.n,
+            corrupted: &self.corrupted,
+            honest_traffic: &honest_traffic,
+            faulty_inboxes: &faulty_inboxes,
+            outgoing: Vec::new(),
+        };
+        self.adversary.act(&mut ctx);
+        let faulty_traffic = ctx.outgoing;
+        trace.faulty_messages += faulty_traffic.iter().filter(|e| e.to != e.from).count() as u64;
+
+        self.report.honest_messages += trace.honest_messages;
+        if self.report.outputs.len() < self.report.honest_count {
+            self.report.honest_messages_until_decision = self.report.honest_messages;
+        }
+
+        // Route all round-`round` traffic into step-`round+1` inboxes,
+        // sorted by sender (stable within one sender).
+        let mut all = honest_traffic;
+        all.extend(faulty_traffic);
+        all.sort_by_key(|e| e.from);
+        self.inboxes.clear();
+        for env in all {
+            self.inboxes.entry(env.to).or_default().push(env);
+        }
+
+        self.report.rounds.push(trace);
+        self.round += 1;
+        self.report.rounds_executed = self.round;
+
+        if self.report.outputs.len() == self.report.honest_count
+            && self.report.last_decision_round.is_none()
+        {
+            self.report.last_decision_round =
+                self.report.decision_round.values().copied().max();
+        }
+
+        self.honest.values().any(|p| !p.halted())
+    }
+
+    /// Runs until every honest process halts or `max_rounds` is reached,
+    /// returning the report.
+    pub fn run(&mut self, max_rounds: u64) -> RunReport<P::Output>
+    where
+        P::Output: Clone,
+    {
+        for _ in 0..max_rounds {
+            if !self.step() {
+                break;
+            }
+        }
+        self.report.clone()
+    }
+
+    /// Read access to an honest process (for white-box assertions in
+    /// tests).
+    pub fn process(&self, id: ProcessId) -> Option<&P> {
+        self.honest.get(&id)
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &RunReport<P::Output> {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FnAdversary, SilentAdversary};
+    use crate::id::Value;
+
+    /// Echo-min protocol used across runner tests: broadcast once, then
+    /// output the minimum value heard.
+    struct MinEcho {
+        mine: Value,
+        out: Option<Value>,
+    }
+
+    impl Process for MinEcho {
+        type Msg = Value;
+        type Output = Value;
+        fn step(&mut self, round: u64, inbox: &[Envelope<Value>], out: &mut Outbox<Value>) {
+            match round {
+                0 => out.broadcast(self.mine),
+                1 => {
+                    let min = inbox.iter().map(|e| *e.payload).min().unwrap_or(self.mine);
+                    self.out = Some(min.min(self.mine));
+                }
+                _ => {}
+            }
+        }
+        fn output(&self) -> Option<Value> {
+            self.out
+        }
+        fn halted(&self) -> bool {
+            self.out.is_some()
+        }
+    }
+
+    fn min_echo_system(_n: usize, honest: usize) -> Vec<MinEcho> {
+        (0..honest)
+            .map(|i| MinEcho {
+                mine: Value(100 + i as u64),
+                out: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_honest_reach_min_in_two_rounds() {
+        let n = 5;
+        let mut runner = Runner::new(n, min_echo_system(n, n), SilentAdversary);
+        let report = runner.run(10);
+        assert!(report.agreement());
+        assert_eq!(report.decision(), Some(&Value(100)));
+        assert_eq!(report.last_decision_round, Some(1));
+    }
+
+    #[test]
+    fn honest_message_count_excludes_self_copies() {
+        let n = 4;
+        let mut runner = Runner::new(n, min_echo_system(n, n), SilentAdversary);
+        let report = runner.run(10);
+        // Each of 4 processes broadcasts once: 3 remote copies each.
+        assert_eq!(report.honest_messages, 12);
+        assert!(report
+            .messages_per_process
+            .values()
+            .all(|&c| c == 3));
+    }
+
+    #[test]
+    fn faulty_traffic_counted_separately() {
+        let n = 4;
+        let adv = FnAdversary::new(|ctx: &mut AdversaryCtx<'_, Value>| {
+            if ctx.round == 0 {
+                ctx.broadcast(ProcessId(3), Value(1));
+            }
+        });
+        let mut runner = Runner::new(n, min_echo_system(n, 3), adv);
+        let report = runner.run(10);
+        assert_eq!(report.rounds[0].faulty_messages, 3);
+        // The faulty minimum wins: honest processes adopt Value(1).
+        assert_eq!(report.decision(), Some(&Value(1)));
+    }
+
+    #[test]
+    fn adversary_sees_honest_traffic_before_acting() {
+        let n = 3;
+        // The adversary echoes (min honest value - 1) in the same round it
+        // observes the broadcasts — only a rushing adversary can do this.
+        let adv = FnAdversary::new(|ctx: &mut AdversaryCtx<'_, Value>| {
+            if ctx.round == 0 {
+                let min = ctx
+                    .honest_traffic
+                    .iter()
+                    .map(|e| *e.payload)
+                    .min()
+                    .expect("rushing adversary must see round-0 honest traffic");
+                ctx.broadcast(ProcessId(2), Value(min.0 - 50));
+            }
+        });
+        let mut runner = Runner::new(n, min_echo_system(n, 2), adv);
+        let report = runner.run(10);
+        assert_eq!(report.decision(), Some(&Value(50)));
+    }
+
+    #[test]
+    fn runner_stops_at_max_rounds_without_outputs() {
+        struct Forever;
+        impl Process for Forever {
+            type Msg = ();
+            type Output = ();
+            fn step(&mut self, _r: u64, _i: &[Envelope<()>], _o: &mut Outbox<()>) {}
+            fn output(&self) -> Option<()> {
+                None
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+        }
+        let mut runner = Runner::new(2, vec![Forever, Forever], SilentAdversary);
+        let report = runner.run(7);
+        assert_eq!(report.rounds_executed, 7);
+        assert!(!report.all_decided());
+        assert!(report.last_decision_round.is_none());
+    }
+
+    #[test]
+    fn corrupted_set_is_the_complement_of_honest_ids() {
+        let runner: Runner<MinEcho, SilentAdversary> =
+            Runner::new(5, min_echo_system(5, 3), SilentAdversary);
+        let corrupted: Vec<u32> = runner.corrupted().iter().map(|p| p.0).collect();
+        assert_eq!(corrupted, vec![3, 4]);
+    }
+
+    #[test]
+    fn with_ids_supports_arbitrary_corruption_patterns() {
+        let mut honest = BTreeMap::new();
+        honest.insert(
+            ProcessId(0),
+            MinEcho {
+                mine: Value(5),
+                out: None,
+            },
+        );
+        honest.insert(
+            ProcessId(2),
+            MinEcho {
+                mine: Value(6),
+                out: None,
+            },
+        );
+        let runner: Runner<MinEcho, SilentAdversary> =
+            Runner::with_ids(4, honest, SilentAdversary);
+        let corrupted: Vec<u32> = runner.corrupted().iter().map(|p| p.0).collect();
+        assert_eq!(corrupted, vec![1, 3]);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let run = || {
+            let mut runner = Runner::new(6, min_echo_system(6, 4), SilentAdversary);
+            let r = runner.run(10);
+            (r.honest_messages, r.last_decision_round, r.rounds_executed)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn decision_round_recorded_per_process() {
+        let n = 3;
+        let mut runner = Runner::new(n, min_echo_system(n, n), SilentAdversary);
+        let report = runner.run(10);
+        assert_eq!(report.decision_round.len(), 3);
+        assert!(report.decision_round.values().all(|&r| r == 1));
+    }
+
+    #[test]
+    fn halted_processes_stop_consuming_and_sending() {
+        let n = 3;
+        let mut runner = Runner::new(n, min_echo_system(n, n), SilentAdversary);
+        let report = runner.run(10);
+        // Protocol halts after round 1; no honest messages afterwards.
+        assert!(report.rounds.iter().skip(1).all(|t| t.honest_messages == 0));
+        assert!(report.rounds_executed <= 3);
+    }
+}

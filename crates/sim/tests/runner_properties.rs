@@ -1,0 +1,137 @@
+//! Property-based invariants of the simulator itself: determinism,
+//! message accounting, delivery ordering, and adversary confinement.
+
+use ba_sim::{
+    AdversaryCtx, Envelope, FnAdversary, Outbox, Process, ProcessId, Runner, SilentAdversary,
+    Value,
+};
+use proptest::prelude::*;
+
+/// A process that broadcasts a configurable number of rounds and then
+/// outputs a digest of everything it received (sender, round) — a
+/// transcript fingerprint.
+#[derive(Clone)]
+struct Chatter {
+    rounds: u64,
+    mine: Value,
+    digest: u64,
+    out: Option<u64>,
+}
+
+impl Process for Chatter {
+    type Msg = Value;
+    type Output = u64;
+    fn step(&mut self, round: u64, inbox: &[Envelope<Value>], out: &mut Outbox<Value>) {
+        for env in inbox {
+            self.digest = self
+                .digest
+                .wrapping_mul(1_000_003)
+                .wrapping_add(u64::from(env.from.0) * 31 + env.payload.0);
+        }
+        if round < self.rounds {
+            out.broadcast(Value(self.mine.0 + round));
+        } else {
+            self.out = Some(self.digest);
+        }
+    }
+    fn output(&self) -> Option<u64> {
+        self.out
+    }
+    fn halted(&self) -> bool {
+        self.out.is_some()
+    }
+}
+
+fn chatter_system(_n: usize, honest: usize, rounds: u64) -> Vec<Chatter> {
+    (0..honest)
+        .map(|i| Chatter {
+            rounds,
+            mine: Value(100 + i as u64),
+            digest: 0,
+            out: None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Two identical runs produce byte-identical transcript digests and
+    /// accounting (the bedrock of every other test in this repository).
+    #[test]
+    fn runs_are_deterministic(
+        n in 2usize..12,
+        rounds in 1u64..5,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let adv = FnAdversary::new(move |ctx: &mut AdversaryCtx<'_, Value>| {
+                let faulty: Vec<ProcessId> = ctx.corrupted.iter().copied().collect();
+                for from in faulty {
+                    let x = seed.wrapping_add(ctx.round * 13 + u64::from(from.0));
+                    ctx.send(from, ProcessId((x % n as u64) as u32), Value(x));
+                }
+            });
+            let honest = n - (n / 3);
+            let mut runner = Runner::new(n, chatter_system(n, honest, rounds), adv);
+            let report = runner.run(rounds + 2);
+            (
+                report.outputs.clone(),
+                report.honest_messages,
+                report.rounds_executed,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Honest message accounting: `honest` processes broadcasting for
+    /// `rounds` rounds send exactly `honest × rounds × (n − 1)` remote
+    /// messages, regardless of adversary noise.
+    #[test]
+    fn message_counting_is_exact(
+        n in 2usize..12,
+        rounds in 1u64..5,
+    ) {
+        let honest = n.max(2) - 1;
+        let mut runner = Runner::new(n, chatter_system(n, honest, rounds), SilentAdversary);
+        let report = runner.run(rounds + 2);
+        prop_assert_eq!(
+            report.honest_messages,
+            honest as u64 * rounds * (n as u64 - 1)
+        );
+        for &c in report.messages_per_process.values() {
+            prop_assert_eq!(c, rounds * (n as u64 - 1));
+        }
+    }
+
+    /// Inbox ordering: every process sees the same per-sender content in
+    /// sender-sorted order, so transcript digests agree across honest
+    /// processes in symmetric systems.
+    #[test]
+    fn symmetric_systems_have_symmetric_views(
+        n in 2usize..10,
+        rounds in 1u64..4,
+    ) {
+        // All-honest, all-broadcast: every process receives identical
+        // traffic, so all digests (which fold sender ids and payloads in
+        // arrival order) must be equal.
+        let mut runner = Runner::new(n, chatter_system(n, n, rounds), SilentAdversary);
+        let report = runner.run(rounds + 2);
+        let first = report.outputs.values().next().copied();
+        for d in report.outputs.values() {
+            prop_assert_eq!(Some(*d), first);
+        }
+    }
+
+    /// The adversary cannot affect executions in which it sends nothing
+    /// and controls nobody: corrupted set is derived purely from the
+    /// honest map.
+    #[test]
+    fn full_honest_system_has_empty_corruption(
+        n in 1usize..10,
+    ) {
+        let runner: Runner<Chatter, SilentAdversary> =
+            Runner::new(n, chatter_system(n, n, 1), SilentAdversary);
+        prop_assert!(runner.corrupted().is_empty());
+    }
+}

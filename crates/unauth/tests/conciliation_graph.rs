@@ -1,0 +1,102 @@
+//! Leader-graph tests for Algorithm 4's evaluation rule: cycles,
+//! disconnected components, asymmetric claims, and the `y ∈ L_y`
+//! broadcaster filter — each pinned against hand-computed minima.
+
+use ba_sim::{ProcessId, Value};
+use ba_unauth::{ConcMsg, Conciliation, ListenSet};
+use std::collections::BTreeMap;
+
+fn listen(ids: &[u32]) -> ListenSet {
+    ids.iter().copied().map(ProcessId).collect()
+}
+
+fn claim(value: u64, ids: &[u32]) -> ConcMsg {
+    ConcMsg {
+        value: Value(value),
+        listen: ids.iter().copied().map(ProcessId).collect(),
+    }
+}
+
+fn conc() -> Conciliation {
+    Conciliation::new(ProcessId(0), 8, 1, Value(500), listen(&[0, 1, 2, 3]))
+}
+
+#[test]
+fn two_cycles_share_minima_through_cross_edges() {
+    // 0 ↔ 1 and 2 ↔ 3, plus edge 1 → 2 (1 ∈ L_2): the {2,3} side sees
+    // the {0,1} side's minimum; the {0,1} side does not see back.
+    let mut claims = BTreeMap::new();
+    claims.insert(ProcessId(0), claim(10, &[0, 1]));
+    claims.insert(ProcessId(1), claim(20, &[0, 1]));
+    claims.insert(ProcessId(2), claim(5, &[1, 2, 3]));
+    claims.insert(ProcessId(3), claim(30, &[2, 3]));
+    // m[0] = m[1] = min(10, 20) = 10 (2,3 do not reach 0 or 1).
+    // m[2] = m[3] = min(5, 30, 10, 20) = 5.
+    // Multiset {10, 10, 5, 5} → plurality tie → smallest = 5.
+    assert_eq!(conc().evaluate(&claims), Value(5));
+}
+
+#[test]
+fn disconnected_singleton_contributes_self_min() {
+    let mut claims = BTreeMap::new();
+    claims.insert(ProcessId(0), claim(10, &[0]));
+    claims.insert(ProcessId(1), claim(3, &[1]));
+    claims.insert(ProcessId(2), claim(10, &[2]));
+    // Each z only reaches itself: multiset {10, 3, 10} → plurality 10.
+    assert_eq!(conc().evaluate(&claims), Value(10));
+}
+
+#[test]
+fn non_self_broadcasters_feed_edges_but_not_values() {
+    // y = 1 claims 1 ∉ L_1: its value must not count, but edges through
+    // it still carry *other* reachable values.
+    let mut claims = BTreeMap::new();
+    claims.insert(ProcessId(0), claim(50, &[0, 1])); // edge 1 → 0
+    claims.insert(ProcessId(1), claim(1, &[0, 2])); // 1 ∉ L_1: value 1 void; edges 0→1, 2→1
+    claims.insert(ProcessId(2), claim(40, &[2]));
+    // Reach(0) = {0, 1, 2} (2→1→0); eligible values (y ∈ L_y): 50, 40 → m[0] = 40.
+    // Reach(1) = {0, 1, 2} → m[1] = 40. Reach(2) = {2} → 40.
+    assert_eq!(conc().evaluate(&claims), Value(40));
+}
+
+#[test]
+fn minimum_prefers_reachability_over_magnitude() {
+    // The global minimum (held by p3) is NOT reachable into any z ∈ L_i
+    // positions that matter... here p3 claims an empty-edge profile: no
+    // z lists 3 in its L, so 3 reaches nobody; and 3's own m[3] counts
+    // only if 3 ∈ T_i ∩ L_i (it is: 3 ∈ L_me) — reach(3) = {3}, value 1.
+    let mut claims = BTreeMap::new();
+    claims.insert(ProcessId(0), claim(10, &[0, 1]));
+    claims.insert(ProcessId(1), claim(20, &[0, 1]));
+    claims.insert(ProcessId(3), claim(1, &[3]));
+    // m[0] = m[1] = 10; m[3] = 1 → multiset {10, 10, 1} → plurality 10.
+    assert_eq!(conc().evaluate(&claims), Value(10));
+}
+
+#[test]
+fn claims_outside_own_listen_window_are_not_evaluated() {
+    // Senders outside the evaluator's L_i contribute edges/values but
+    // get no m[z] entry of their own: z ranges over T_i ∩ L_i.
+    let mut claims = BTreeMap::new();
+    claims.insert(ProcessId(5), claim(1, &[5])); // 5 ∉ L_me = {0,1,2,3}
+    claims.insert(ProcessId(0), claim(10, &[0]));
+    // Only z = 0 evaluated → 10 (the 1 from p5 unreachable anyway).
+    assert_eq!(conc().evaluate(&claims), Value(10));
+}
+
+#[test]
+fn empty_claims_fall_back_to_own_input() {
+    let claims = BTreeMap::new();
+    assert_eq!(conc().evaluate(&claims), Value(500));
+}
+
+#[test]
+fn self_loop_only_graph_is_stable() {
+    // Everyone in a self-loop: m[z] = own value; plurality = smallest
+    // most frequent.
+    let mut claims = BTreeMap::new();
+    for (i, v) in [(0u32, 7u64), (1, 7), (2, 9), (3, 9)] {
+        claims.insert(ProcessId(i), claim(v, &[i]));
+    }
+    assert_eq!(conc().evaluate(&claims), Value(7));
+}

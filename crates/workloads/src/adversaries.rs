@@ -1,0 +1,140 @@
+//! Byzantine strategies against the wrapper protocols.
+//!
+//! The protocol-agnostic strategies (silence, crashing, replay) live in
+//! `ba-sim`; here are the prediction-aware ones. The deepest attacks —
+//! forged certificates, split chains, camp-splitting — are exercised at
+//! the individual protocol layers (see the `ba-graded`/`ba-auth` test
+//! suites), where the adversary can be written against the concrete
+//! message type.
+
+use ba_core::{AuthWrapperMsg, BitVec, UnauthWrapperMsg};
+use ba_sim::{Adversary, AdversaryCtx, ProcessId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// What a lying voter claims during classification (Algorithm 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LiarStyle {
+    /// Everyone is honest — shields the adversary's own members.
+    AllOnes,
+    /// Everyone is faulty — maximal suspicion.
+    AllZeros,
+    /// Honest processes accused, faulty endorsed — the exact inversion.
+    Inverted,
+    /// Independent random bits per recipient (equivocating liar).
+    RandomPerRecipient,
+}
+
+/// Broadcasts crafted prediction vectors in the classification round and
+/// stays silent afterwards.
+///
+/// Works against both wrapper pipelines via [`ClassifyLiar::unauth`] and
+/// [`ClassifyLiar::auth`].
+#[derive(Clone, Debug)]
+pub struct ClassifyLiar {
+    n: usize,
+    style: LiarStyle,
+    faulty: Vec<ProcessId>,
+    rng: StdRng,
+}
+
+impl ClassifyLiar {
+    /// Creates the liar controlling `faulty` in a system of `n`.
+    pub fn new(n: usize, faulty: Vec<ProcessId>, style: LiarStyle, seed: u64) -> Self {
+        ClassifyLiar {
+            n,
+            style,
+            faulty,
+            rng: StdRng::seed_from_u64(seed ^ 0x11a5),
+        }
+    }
+
+    fn vector(&mut self) -> BitVec {
+        match self.style {
+            LiarStyle::AllOnes => BitVec::ones(self.n),
+            LiarStyle::AllZeros => BitVec::zeros(self.n),
+            LiarStyle::Inverted => {
+                let mut v = BitVec::zeros(self.n);
+                for f in &self.faulty {
+                    v.set(f.index(), true);
+                }
+                v
+            }
+            LiarStyle::RandomPerRecipient => {
+                let bits: Vec<bool> = (0..self.n).map(|_| self.rng.gen()).collect();
+                BitVec::from_bools(&bits)
+            }
+        }
+    }
+
+    fn emit<M>(&mut self, ctx: &mut AdversaryCtx<'_, M>, wrap: impl Fn(Arc<BitVec>) -> M)
+    where
+        M: Clone,
+    {
+        if ctx.round != 0 {
+            return;
+        }
+        let per_recipient = matches!(self.style, LiarStyle::RandomPerRecipient);
+        for from in self.faulty.clone() {
+            if per_recipient {
+                for to in ProcessId::all(self.n) {
+                    let msg = wrap(Arc::new(self.vector()));
+                    ctx.send(from, to, msg);
+                }
+            } else {
+                let msg = wrap(Arc::new(self.vector()));
+                ctx.broadcast(from, msg);
+            }
+        }
+    }
+
+    /// Adapter for the unauthenticated wrapper's message type.
+    pub fn unauth(self) -> impl Adversary<UnauthWrapperMsg> {
+        UnauthLiar(self)
+    }
+
+    /// Adapter for the authenticated wrapper's message type.
+    pub fn auth(self) -> impl Adversary<AuthWrapperMsg> {
+        AuthLiar(self)
+    }
+}
+
+struct UnauthLiar(ClassifyLiar);
+impl Adversary<UnauthWrapperMsg> for UnauthLiar {
+    fn act(&mut self, ctx: &mut AdversaryCtx<'_, UnauthWrapperMsg>) {
+        self.0.emit(ctx, UnauthWrapperMsg::Classify);
+    }
+}
+
+struct AuthLiar(ClassifyLiar);
+impl Adversary<AuthWrapperMsg> for AuthLiar {
+    fn act(&mut self, ctx: &mut AdversaryCtx<'_, AuthWrapperMsg>) {
+        self.0.emit(ctx, AuthWrapperMsg::Classify);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn styles_produce_expected_vectors() {
+        let mut liar = ClassifyLiar::new(4, vec![ProcessId(3)], LiarStyle::Inverted, 1);
+        let v = liar.vector();
+        assert!(!v.get(0) && !v.get(1) && !v.get(2) && v.get(3));
+
+        let mut ones = ClassifyLiar::new(4, vec![ProcessId(3)], LiarStyle::AllOnes, 1);
+        assert_eq!(ones.vector().count_ones(), 4);
+
+        let mut zeros = ClassifyLiar::new(4, vec![ProcessId(3)], LiarStyle::AllZeros, 1);
+        assert_eq!(zeros.vector().count_ones(), 0);
+    }
+
+    #[test]
+    fn random_style_is_seed_deterministic() {
+        let v1 = ClassifyLiar::new(8, vec![ProcessId(7)], LiarStyle::RandomPerRecipient, 9).vector();
+        let v2 = ClassifyLiar::new(8, vec![ProcessId(7)], LiarStyle::RandomPerRecipient, 9).vector();
+        assert_eq!(v1, v2);
+    }
+}

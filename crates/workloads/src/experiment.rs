@@ -1,0 +1,377 @@
+//! The declarative experiment runner behind every bench table.
+//!
+//! One [`ExperimentConfig`] describes a complete execution — system size,
+//! fault pattern, prediction budget and placement, input pattern,
+//! adversary, pipeline, seed — and [`ExperimentConfig::run`] produces the
+//! measured [`ExperimentOutcome`]: rounds until the last honest decision,
+//! honest message count, whether Agreement/Validity held, the actual `B`,
+//! and the realized misclassification count `k_A`. Everything is
+//! deterministic given the config.
+
+use crate::adversaries::{ClassifyLiar, LiarStyle};
+use crate::generators::{self, ErrorPlacement, FaultIds};
+use ba_core::{
+    AuthWrapper, AuthWrapperMsg, MisclassificationReport, PredictionMatrix, UnauthWrapper,
+    UnauthWrapperMsg,
+};
+use ba_crypto::Pki;
+use ba_sim::{
+    Adversary, ProcessId, ReplayAdversary, RunReport, Runner, SilentAdversary, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Which of the paper's two pipelines to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pipeline {
+    /// Theorem 11: `t < n/3`, no signatures.
+    Unauth,
+    /// Theorem 12: `t < n/2`, signatures.
+    Auth,
+}
+
+/// Honest input patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputPattern {
+    /// All honest processes propose the same value (validity scenarios).
+    Unanimous(u64),
+    /// Alternating binary proposals (agreement under contention).
+    Split,
+    /// Identifier-derived distinct values.
+    Distinct,
+}
+
+/// Adversary selection (protocol-deep attacks are exercised in the
+/// per-crate test suites; these are the execution-scale behaviours).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// Faulty processes never send.
+    Silent,
+    /// Faulty processes lie during classification, then go silent.
+    ClassifyLiar(LiarStyle),
+    /// Faulty processes replay observed honest traffic with a delay.
+    Replay,
+    /// The schedule-driven worst-case coalition
+    /// ([`crate::disruptor`]): shields itself during classification,
+    /// equivocates every quorum protocol, withholds chains, splits
+    /// plurality reports. This is the adversary the bench sweeps use to
+    /// realize the paper's `min{B/n + 1, f}` round curve.
+    Disruptor,
+}
+
+/// Re-export of the fault placement strategy.
+pub type FaultPlacement = FaultIds;
+
+/// A complete experiment description.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// System size.
+    pub n: usize,
+    /// Fault tolerance bound.
+    pub t: usize,
+    /// Actual number of faults `f ≤ t`.
+    pub f: usize,
+    /// Where the faulty identifiers sit.
+    pub fault_placement: FaultPlacement,
+    /// Wrong-bit budget `B` for the prediction matrix.
+    pub budget: usize,
+    /// Wrong-bit placement strategy.
+    pub placement: ErrorPlacement,
+    /// Pipeline under test.
+    pub pipeline: Pipeline,
+    /// Honest inputs.
+    pub inputs: InputPattern,
+    /// Byzantine behaviour.
+    pub adversary: AdversaryKind,
+    /// RNG seed (predictions, adversary, PKI).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A conservative default: silent faults, uniform errors, split
+    /// inputs.
+    pub fn new(n: usize, t: usize, f: usize, budget: usize, pipeline: Pipeline) -> Self {
+        ExperimentConfig {
+            n,
+            t,
+            f,
+            fault_placement: FaultIds::Spread,
+            budget,
+            placement: ErrorPlacement::Uniform,
+            pipeline,
+            inputs: InputPattern::Split,
+            adversary: AdversaryKind::Silent,
+            seed: 0,
+        }
+    }
+
+    fn input_for(&self, slot: usize) -> Value {
+        match self.inputs {
+            InputPattern::Unanimous(v) => Value(v),
+            // Split inputs start at 1: the worst-case disruptor injects
+            // strictly smaller values (0) selectively to split the
+            // minimum-based conciliation (Algorithm 4 line 4).
+            InputPattern::Split => Value(1 + (slot % 2) as u64),
+            InputPattern::Distinct => Value(slot as u64 + 100),
+        }
+    }
+
+    /// Executes the experiment.
+    pub fn run(&self) -> ExperimentOutcome {
+        assert!(self.f <= self.t, "f ≤ t");
+        let faulty = generators::faults(self.n, self.f, self.fault_placement);
+        let matrix =
+            generators::predictions_with_budget(self.n, &faulty, self.budget, self.placement, self.seed);
+        let b_actual = matrix.total_errors(&faulty);
+        match self.pipeline {
+            Pipeline::Unauth => self.run_unauth(&faulty, &matrix, b_actual),
+            Pipeline::Auth => self.run_auth(&faulty, &matrix, b_actual),
+        }
+    }
+
+    fn max_rounds(&self) -> u64 {
+        let schedule_len = match self.pipeline {
+            Pipeline::Unauth => UnauthWrapper::schedule(self.n, self.t).total_steps,
+            Pipeline::Auth => AuthWrapper::schedule(self.n, self.t).total_steps,
+        };
+        schedule_len + 4
+    }
+
+    fn run_unauth(
+        &self,
+        faulty: &BTreeSet<ProcessId>,
+        matrix: &PredictionMatrix,
+        b_actual: usize,
+    ) -> ExperimentOutcome {
+        let mut honest: BTreeMap<ProcessId, UnauthWrapper> = BTreeMap::new();
+        for (slot, id) in ProcessId::all(self.n).filter(|p| !faulty.contains(p)).enumerate() {
+            honest.insert(
+                id,
+                UnauthWrapper::new(id, self.n, self.t, self.input_for(slot), matrix.row(id).clone()),
+            );
+        }
+        let adversary = self.unauth_adversary(faulty);
+        let mut runner = Runner::with_ids(self.n, honest, adversary);
+        let report = runner.run(self.max_rounds());
+        let k_a = {
+            let refs: Vec<(ProcessId, &ba_core::BitVec)> = ProcessId::all(self.n)
+                .filter(|p| !faulty.contains(p))
+                .filter_map(|id| {
+                    runner
+                        .process(id)
+                        .and_then(|w| w.classification())
+                        .map(|c| (id, c))
+                })
+                .collect();
+            MisclassificationReport::compute(self.n, faulty, &refs).k_a()
+        };
+        self.outcome(report, b_actual, k_a)
+    }
+
+    fn run_auth(
+        &self,
+        faulty: &BTreeSet<ProcessId>,
+        matrix: &PredictionMatrix,
+        b_actual: usize,
+    ) -> ExperimentOutcome {
+        let pki = Arc::new(Pki::new(self.n, self.seed ^ 0x91c1));
+        let mut honest: BTreeMap<ProcessId, AuthWrapper> = BTreeMap::new();
+        for (slot, id) in ProcessId::all(self.n).filter(|p| !faulty.contains(p)).enumerate() {
+            honest.insert(
+                id,
+                AuthWrapper::new(
+                    id,
+                    self.n,
+                    self.t,
+                    self.input_for(slot),
+                    matrix.row(id).clone(),
+                    Arc::clone(&pki),
+                    pki.signing_key(id.0),
+                ),
+            );
+        }
+        let adversary = self.auth_adversary(faulty, &pki);
+        let mut runner = Runner::with_ids(self.n, honest, adversary);
+        let report = runner.run(self.max_rounds());
+        let k_a = {
+            let refs: Vec<(ProcessId, &ba_core::BitVec)> = ProcessId::all(self.n)
+                .filter(|p| !faulty.contains(p))
+                .filter_map(|id| {
+                    runner
+                        .process(id)
+                        .and_then(|w| w.classification())
+                        .map(|c| (id, c))
+                })
+                .collect();
+            MisclassificationReport::compute(self.n, faulty, &refs).k_a()
+        };
+        self.outcome(report, b_actual, k_a)
+    }
+
+    fn unauth_adversary(
+        &self,
+        faulty: &BTreeSet<ProcessId>,
+    ) -> Box<dyn Adversary<UnauthWrapperMsg>> {
+        match self.adversary {
+            AdversaryKind::Silent => Box::new(SilentAdversary),
+            AdversaryKind::ClassifyLiar(style) => Box::new(
+                ClassifyLiar::new(self.n, faulty.iter().copied().collect(), style, self.seed)
+                    .unauth(),
+            ),
+            AdversaryKind::Replay => Box::new(ReplayAdversary::new(1)),
+            AdversaryKind::Disruptor => Box::new(crate::disruptor::UnauthDisruptor::new(
+                self.n,
+                self.t,
+                faulty.iter().copied().collect(),
+            )),
+        }
+    }
+
+    fn auth_adversary(
+        &self,
+        faulty: &BTreeSet<ProcessId>,
+        pki: &Pki,
+    ) -> Box<dyn Adversary<AuthWrapperMsg>> {
+        match self.adversary {
+            AdversaryKind::Silent => Box::new(SilentAdversary),
+            AdversaryKind::ClassifyLiar(style) => Box::new(
+                ClassifyLiar::new(self.n, faulty.iter().copied().collect(), style, self.seed)
+                    .auth(),
+            ),
+            AdversaryKind::Replay => Box::new(ReplayAdversary::new(1)),
+            AdversaryKind::Disruptor => Box::new(crate::disruptor::AuthDisruptor::new(
+                self.n,
+                self.t,
+                faulty.iter().copied().collect(),
+                pki,
+            )),
+        }
+    }
+
+    fn outcome(
+        &self,
+        report: RunReport<Value>,
+        b_actual: usize,
+        k_a: usize,
+    ) -> ExperimentOutcome {
+        let validity_ok = match self.inputs {
+            InputPattern::Unanimous(v) => report.decision() == Some(&Value(v)),
+            _ => report.agreement(),
+        };
+        ExperimentOutcome {
+            rounds: report.last_decision_round,
+            messages: report.honest_messages_until_decision,
+            messages_total: report.honest_messages,
+            agreement: report.agreement(),
+            validity_ok,
+            b_actual,
+            k_a,
+        }
+    }
+}
+
+/// Measured results of one experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentOutcome {
+    /// Round at which the last honest process decided (`None` = some
+    /// process never decided — a liveness bug).
+    pub rounds: Option<u64>,
+    /// Honest messages until the last decision.
+    pub messages: u64,
+    /// Honest messages over the whole run (including the courtesy
+    /// phase).
+    pub messages_total: u64,
+    /// Whether all honest processes decided on one value.
+    pub agreement: bool,
+    /// Agreement plus, for unanimous inputs, strong unanimity.
+    pub validity_ok: bool,
+    /// Wrong prediction bits actually injected.
+    pub b_actual: usize,
+    /// Misclassified processes after Algorithm 2 (`k_A`).
+    pub k_a: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unauth_experiment_end_to_end() {
+        let cfg = ExperimentConfig::new(16, 5, 2, 0, Pipeline::Unauth);
+        let out = cfg.run();
+        assert!(out.agreement, "perfect predictions, silent faults");
+        assert!(out.validity_ok);
+        assert_eq!(out.b_actual, 0);
+        assert_eq!(out.k_a, 0);
+        assert!(out.rounds.is_some());
+    }
+
+    #[test]
+    fn auth_experiment_end_to_end() {
+        let cfg = ExperimentConfig::new(10, 4, 3, 0, Pipeline::Auth);
+        let out = cfg.run();
+        assert!(out.agreement);
+        assert!(out.rounds.is_some());
+    }
+
+    #[test]
+    fn unanimous_inputs_check_validity() {
+        let mut cfg = ExperimentConfig::new(16, 5, 1, 5, Pipeline::Unauth);
+        cfg.inputs = InputPattern::Unanimous(9);
+        let out = cfg.run();
+        assert!(out.validity_ok, "decision must equal the unanimous input");
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let cfg = ExperimentConfig::new(16, 5, 2, 30, Pipeline::Unauth);
+        let out = cfg.run();
+        assert_eq!(out.b_actual, 30);
+    }
+
+    #[test]
+    fn classify_liar_does_not_break_agreement() {
+        for style in [
+            LiarStyle::AllOnes,
+            LiarStyle::AllZeros,
+            LiarStyle::Inverted,
+            LiarStyle::RandomPerRecipient,
+        ] {
+            let mut cfg = ExperimentConfig::new(16, 5, 3, 10, Pipeline::Unauth);
+            cfg.adversary = AdversaryKind::ClassifyLiar(style);
+            let out = cfg.run();
+            assert!(out.agreement, "{style:?} broke agreement");
+        }
+    }
+
+    #[test]
+    fn replay_adversary_is_harmless() {
+        let mut cfg = ExperimentConfig::new(16, 5, 3, 8, Pipeline::Unauth);
+        cfg.adversary = AdversaryKind::Replay;
+        let out = cfg.run();
+        assert!(out.agreement);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ExperimentConfig::new(16, 5, 2, 20, Pipeline::Unauth);
+        let a = cfg.run();
+        let b = cfg.run();
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.k_a, b.k_a);
+    }
+
+    #[test]
+    fn perfect_predictions_decide_faster_than_garbage() {
+        let good = ExperimentConfig::new(24, 7, 6, 0, Pipeline::Unauth).run();
+        let mut bad_cfg = ExperimentConfig::new(24, 7, 6, 24 * 24, Pipeline::Unauth);
+        bad_cfg.placement = ErrorPlacement::Concentrated;
+        let bad = bad_cfg.run();
+        assert!(good.agreement && bad.agreement);
+        assert!(
+            good.rounds.unwrap() <= bad.rounds.unwrap(),
+            "accurate predictions must not be slower"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # ba-workloads — workload generation and the experiment harness
+//!
+//! Everything the benchmark suite and the examples need to exercise the
+//! *Byzantine Agreement with Predictions* implementation:
+//!
+//! * [`generators`] — prediction matrices with an exact budget of `B`
+//!   wrong bits under several placement strategies (the paper's analysis
+//!   is parameterized by `B` alone; placement controls how adversarial
+//!   the noise is), plus fault-set placement;
+//! * [`adversaries`] — Byzantine strategies against the wrapper
+//!   (prediction liars, replayers, crashers);
+//! * [`experiment`] — a declarative experiment runner: configuration in,
+//!   `(rounds, messages, agreement, validity, k_A)` out, fully
+//!   deterministic per seed;
+//! * [`lower_bounds`] — the paper's lower-bound formulas (Theorems 13
+//!   and 14) as checkable functions;
+//! * [`tables`] — markdown table rendering for the bench harnesses.
+
+pub mod adversaries;
+pub mod disruptor;
+pub mod experiment;
+pub mod generators;
+pub mod lower_bounds;
+pub mod sweep;
+pub mod tables;
+
+pub use adversaries::{ClassifyLiar, LiarStyle};
+pub use disruptor::{AuthDisruptor, UnauthDisruptor};
+pub use sweep::{correlation, fit_power_law, summarize, sweep_seeds, SweepSummary};
+pub use experiment::{
+    AdversaryKind, ExperimentConfig, ExperimentOutcome, FaultPlacement, InputPattern, Pipeline,
+};
+pub use generators::{faults, predictions_with_budget, ErrorPlacement};
+pub use lower_bounds::{message_lower_bound, round_lower_bound};
+pub use tables::Table;

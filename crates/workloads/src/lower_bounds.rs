@@ -1,0 +1,87 @@
+//! The paper's lower bounds as checkable formulas (§10).
+//!
+//! * **Theorem 13** (round complexity): every deterministic BA algorithm
+//!   with classification predictions has, for every `f ≤ t < n − 1`, an
+//!   execution with `f` faults taking at least
+//!   `min{f + 2, t + 1, ⌊B/(n−f)⌋ + 2, ⌊B/(n−t)⌋ + 1}` rounds.
+//! * **Theorem 14** (message complexity): even in executions with 100%
+//!   correct predictions, `Ω(n + t²)` messages are sent by honest
+//!   processes — predictions cannot buy message complexity. The proof's
+//!   constants: at least `⌈n/4⌉` messages overall, and `⌈t/2⌉` messages
+//!   to each of `⌊t/2⌋` cut-off processes, i.e. `≥ ⌊t/2⌋·⌈t/2⌉` ≈ `t²/4`.
+//!
+//! These are *worst-case existential* bounds: a particular measured
+//! execution may beat the formula pointwise, but the E3/E4 bench
+//! harnesses compare the measured curves against them as the paper's
+//! predicted shape, and this repository's algorithms must never go below
+//! the Theorem 14 floor because classification alone already costs
+//! `n(n−1)` messages.
+
+/// Theorem 13's bound on rounds for parameters `(n, t, f, B)`.
+pub fn round_lower_bound(n: usize, t: usize, f: usize, b: usize) -> u64 {
+    assert!(f <= t && t < n, "f ≤ t < n required");
+    let a = f as u64 + 2;
+    let c = t as u64 + 1;
+    let d = (b / (n - f)) as u64 + 2;
+    let e = (b / (n - t)) as u64 + 1;
+    a.min(c).min(d).min(e)
+}
+
+/// Theorem 14's bound on honest messages: `max(⌈n/4⌉, ⌊t/2⌋·⌈t/2⌉)`.
+pub fn message_lower_bound(n: usize, t: usize) -> u64 {
+    let linear = n.div_ceil(4) as u64;
+    let quadratic = ((t / 2) * t.div_ceil(2)) as u64;
+    linear.max(quadratic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_zero_faults_lower_bound_is_one() {
+        // B = 0, f = 0: min{2, t+1, 2, 1} = 1.
+        assert_eq!(round_lower_bound(10, 3, 0, 0), 1);
+    }
+
+    #[test]
+    fn large_b_recovers_the_classic_f_plus_2() {
+        // Once both prediction terms exceed f + 2 — i.e.
+        // B ≥ (f+1)(n−t) and B ≥ f(n−f) — the classic early-stopping
+        // bound binds.
+        let (n, t, f) = (10, 3, 2);
+        let b = (f + 1) * (n - t);
+        assert_eq!(round_lower_bound(n, t, f, b), f as u64 + 2);
+    }
+
+    #[test]
+    fn b_term_caps_the_bound_when_predictions_are_good() {
+        // Small B: the ⌊B/(n−t)⌋ + 1 term dominates.
+        assert_eq!(round_lower_bound(100, 30, 20, 50), 1);
+        assert_eq!(round_lower_bound(100, 30, 20, 200), 3, "⌊200/70⌋+1");
+    }
+
+    #[test]
+    fn bound_monotone_in_b_until_f_caps() {
+        let mut last = 0;
+        for b in (0..3000).step_by(100) {
+            let lb = round_lower_bound(100, 30, 25, b);
+            assert!(lb >= last);
+            last = lb;
+        }
+        assert_eq!(round_lower_bound(100, 30, 25, 1_000_000), 27, "f + 2");
+    }
+
+    #[test]
+    fn message_bound_shapes() {
+        assert_eq!(message_lower_bound(16, 0), 4, "Ω(n) term");
+        assert_eq!(message_lower_bound(16, 5), 6, "2·3");
+        assert_eq!(message_lower_bound(100, 33), 16 * 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "f ≤ t < n")]
+    fn rejects_bad_parameters() {
+        let _ = round_lower_bound(10, 3, 4, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Multi-seed sweeps and summary statistics.
+//!
+//! The simulator is deterministic per configuration, but workload
+//! randomness (error placement, adversary scheduling) makes single-seed
+//! numbers noisy summaries of a configuration's behaviour. This module
+//! runs a configuration across seeds and aggregates: worst case (what
+//! the theorems bound), mean, and best case. The scaling helpers fit the
+//! measured curves against reference shapes (`n²`, `min{B/n+1, f}`), so
+//! bench tables can report shape-conformance numerically.
+
+use crate::experiment::{ExperimentConfig, ExperimentOutcome};
+
+/// Aggregated results of one configuration across seeds.
+#[derive(Clone, Debug)]
+pub struct SweepSummary {
+    /// Number of seeds run.
+    pub runs: usize,
+    /// Worst-case rounds across seeds (`None` if any run failed to
+    /// decide — a liveness violation).
+    pub rounds_max: Option<u64>,
+    /// Best-case rounds.
+    pub rounds_min: Option<u64>,
+    /// Mean rounds.
+    pub rounds_mean: f64,
+    /// Worst-case honest message count (until decision).
+    pub messages_max: u64,
+    /// Mean honest message count.
+    pub messages_mean: f64,
+    /// Whether agreement held in every run.
+    pub always_agreed: bool,
+    /// Whether validity held in every run.
+    pub always_valid: bool,
+    /// Mean realized misclassification count `k_A`.
+    pub k_a_mean: f64,
+    /// The realized error budget (identical across seeds when the
+    /// placement is budget-exact).
+    pub b_actual: usize,
+}
+
+/// Runs `cfg` across `seeds` and aggregates the outcomes.
+pub fn sweep_seeds(cfg: &ExperimentConfig, seeds: impl IntoIterator<Item = u64>) -> SweepSummary {
+    let outcomes: Vec<ExperimentOutcome> = seeds
+        .into_iter()
+        .map(|seed| {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            c.run()
+        })
+        .collect();
+    summarize(&outcomes)
+}
+
+/// Aggregates a set of outcomes.
+pub fn summarize(outcomes: &[ExperimentOutcome]) -> SweepSummary {
+    assert!(!outcomes.is_empty(), "cannot summarize zero runs");
+    let runs = outcomes.len();
+    let all_decided = outcomes.iter().all(|o| o.rounds.is_some());
+    let rounds: Vec<u64> = outcomes.iter().filter_map(|o| o.rounds).collect();
+    let rounds_mean =
+        rounds.iter().sum::<u64>() as f64 / rounds.len().max(1) as f64;
+    SweepSummary {
+        runs,
+        rounds_max: all_decided.then(|| rounds.iter().copied().max().unwrap_or(0)),
+        rounds_min: all_decided.then(|| rounds.iter().copied().min().unwrap_or(0)),
+        rounds_mean,
+        messages_max: outcomes.iter().map(|o| o.messages).max().unwrap_or(0),
+        messages_mean: outcomes.iter().map(|o| o.messages).sum::<u64>() as f64 / runs as f64,
+        always_agreed: outcomes.iter().all(|o| o.agreement),
+        always_valid: outcomes.iter().all(|o| o.validity_ok),
+        k_a_mean: outcomes.iter().map(|o| o.k_a).sum::<usize>() as f64 / runs as f64,
+        b_actual: outcomes.first().map(|o| o.b_actual).unwrap_or(0),
+    }
+}
+
+/// Least-squares exponent of `y ≈ c·xᵖ` over positive samples — used to
+/// check measured scaling against a reference power (e.g. messages vs
+/// `n` should fit `p ≈ 2`).
+pub fn fit_power_law(samples: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    (denom.abs() > 1e-12).then(|| (n * sxy - sx * sy) / denom)
+}
+
+/// Pearson correlation between two equal-length series — used to check
+/// that measured rounds track the `min{B/n + 1, f}` reference curve.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let denom = (vx * vy).sqrt();
+    (denom > 1e-12).then(|| cov / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Pipeline;
+
+    #[test]
+    fn sweep_aggregates_deterministic_runs() {
+        let cfg = ExperimentConfig::new(16, 5, 2, 12, Pipeline::Unauth);
+        let summary = sweep_seeds(&cfg, 0..4);
+        assert_eq!(summary.runs, 4);
+        assert!(summary.always_agreed);
+        assert!(summary.rounds_max.is_some());
+        assert!(summary.rounds_min <= summary.rounds_max);
+        assert!(summary.rounds_mean > 0.0);
+        assert_eq!(summary.b_actual, 12);
+    }
+
+    #[test]
+    fn fit_power_law_recovers_known_exponents() {
+        let quadratic: Vec<(f64, f64)> = (1..=6).map(|x| (x as f64, (x * x) as f64 * 3.0)).collect();
+        let p = fit_power_law(&quadratic).expect("fit");
+        assert!((p - 2.0).abs() < 1e-9, "got {p}");
+
+        let linear: Vec<(f64, f64)> = (1..=6).map(|x| (x as f64, x as f64 * 7.0)).collect();
+        let p = fit_power_law(&linear).expect("fit");
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_power_law_needs_two_positive_points() {
+        assert!(fit_power_law(&[(1.0, 2.0)]).is_none());
+        assert!(fit_power_law(&[(0.0, 2.0), (0.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn correlation_detects_monotone_tracking() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 21.0, 29.0, 44.0];
+        let r = correlation(&xs, &ys).expect("correlated");
+        assert!(r > 0.98, "got {r}");
+        let anti = [44.0, 29.0, 21.0, 10.0];
+        assert!(correlation(&xs, &anti).expect("r") < -0.98);
+    }
+
+    #[test]
+    fn correlation_rejects_mismatched_lengths() {
+        assert!(correlation(&[1.0], &[1.0]).is_none());
+        assert!(correlation(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn summarize_rejects_empty() {
+        let _ = summarize(&[]);
+    }
+}

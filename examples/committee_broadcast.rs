@@ -1,0 +1,86 @@
+//! Drive the paper's authenticated building blocks directly: committee
+//! certificates (Definition 1), message chains (Definition 2), and
+//! Byzantine Broadcast with an Implicit Committee (Algorithm 6).
+//!
+//! This is the API a systems builder would reuse outside the full
+//! agreement stack — e.g. to disseminate a configuration from a leader
+//! set while tolerating `k` compromised members.
+//!
+//! ```sh
+//! cargo run --release --example committee_broadcast
+//! ```
+
+use ba_auth::bb_committee::{CommitteeMode, ParallelBroadcast};
+use ba_auth::chains::{committee_bytes, CommitteeCert, MessageChain};
+use ba_crypto::{Pki, Signature};
+use ba_predictions::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let n = 7;
+    let t = 2;
+    let session = 42;
+    let pki = Arc::new(Pki::new(n, 0xC0FFEE));
+
+    // --- Definition 1: committee certificates -------------------------
+    // p0 collects t + 1 = 3 membership votes and assembles a certificate.
+    let votes: Vec<Signature> = (0..=t as u32)
+        .map(|voter| pki.signing_key(voter).sign(&committee_bytes(session, 0)))
+        .collect();
+    let cert = CommitteeCert::assemble(0, &votes, t).expect("t + 1 votes collected");
+    assert!(cert.verify(session, t, &pki));
+    println!("committee certificate for p0: {} signatures, verifies ✓", cert.sigs.len());
+
+    // A stolen certificate (re-pointed at p5) must fail.
+    let stolen = CommitteeCert { member: 5, sigs: cert.sigs.clone() };
+    assert!(!stolen.verify(session, t, &pki));
+    println!("re-pointed certificate rejected ✓");
+
+    // --- Definition 2: message chains ---------------------------------
+    let chain = MessageChain::start(session, 0, Value(99), &pki.signing_key(0), Some(cert.clone()))
+        .extend(session, 0, &pki.signing_key(1), Some({
+            let votes: Vec<Signature> = (0..=t as u32)
+                .map(|v| pki.signing_key(v).sign(&committee_bytes(session, 1)))
+                .collect();
+            CommitteeCert::assemble(1, &votes, t).expect("votes")
+        }));
+    assert!(chain.verify(session, 0, t, true, &pki));
+    println!("length-{} message chain verifies ✓", chain.len());
+    let mut tampered = chain.clone();
+    tampered.value = Value(100);
+    assert!(!tampered.verify(session, 0, t, true, &pki));
+    println!("value-tampered chain rejected ✓");
+
+    // --- Algorithm 6 at scale: n parallel broadcasts -------------------
+    // Universal-committee mode (every process implicitly certified),
+    // fault budget k = t: this is n parallel Dolev–Strong instances.
+    let procs: Vec<ParallelBroadcast> = (0..n as u32)
+        .map(|i| {
+            ParallelBroadcast::new(
+                ProcessId(i),
+                n,
+                t,
+                t,
+                session + 1,
+                CommitteeMode::Universal,
+                Value(10 + u64::from(i)),
+                None,
+                Arc::clone(&pki),
+                pki.signing_key(i),
+            )
+        })
+        .collect();
+    let mut runner = Runner::new(n, procs, SilentAdversary);
+    let report = runner.run(ParallelBroadcast::rounds(t) + 2);
+    let view = report.outputs.values().next().expect("all finished");
+    println!(
+        "\nAlgorithm 6 (k = {t}): every process delivered {:?} in {} rounds, {} messages",
+        view.iter().map(|v| v.map(|x| x.0)).collect::<Vec<_>>(),
+        report.last_decision_round.expect("finished"),
+        report.honest_messages,
+    );
+    for outs in report.outputs.values() {
+        assert_eq!(outs, view, "committee agreement");
+    }
+    println!("all {} processes hold identical delivery vectors ✓", report.outputs.len());
+}

@@ -1,0 +1,44 @@
+//! Sweep the prediction error budget `B` and watch the round complexity
+//! follow the paper's `O(min{B/n + 1, f})` curve, with the Theorem 13
+//! lower bound printed alongside.
+//!
+//! ```sh
+//! cargo run --release --example prediction_quality_sweep
+//! ```
+
+use ba_predictions::prelude::*;
+
+fn main() {
+    let (n, t, f) = (24, 7, 6);
+    println!("Prediction-quality sweep (n = {n}, t = {t}, f = {f})\n");
+
+    let mut table = Table::new(
+        "rounds vs B — unauthenticated pipeline (Theorem 11)",
+        &["B", "B/n", "k_A", "rounds", "LB (Thm 13)", "agreement"],
+    );
+    for budget in [0usize, 6, 12, 24, 48, 96, 192, 384, 576] {
+        let mut cfg = ExperimentConfig::new(n, t, f, budget, Pipeline::Unauth);
+        cfg.placement = ErrorPlacement::Concentrated;
+        cfg.seed = 11;
+        let out = cfg.run();
+        table.row([
+            out.b_actual.to_string(),
+            (out.b_actual / n).to_string(),
+            out.k_a.to_string(),
+            out.rounds.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            round_lower_bound(n, t, f, out.b_actual).to_string(),
+            out.agreement.to_string(),
+        ]);
+        assert!(out.agreement);
+    }
+    table.print();
+
+    println!(
+        "Reading the table: rounds grow with B (more misclassified\n\
+         processes, k_A ≈ B/(n/2 − f), so larger guess-and-double budgets\n\
+         are needed) until the early-stopping term min{{·, f}} caps the\n\
+         damage. The LB column is the paper's round lower bound for the\n\
+         same (n, t, f, B) — measured rounds stay within a constant-ish\n\
+         factor of it, which is Theorem 13's tightness claim."
+    );
+}

@@ -1,0 +1,114 @@
+//! The paper's motivating scenario (§1): a network-security monitoring
+//! service — think Darktrace/Vectra/Zeek — feeds each replica of a
+//! critical distributed system a noisy classification of which peers look
+//! malicious. How much does agreement latency improve as the monitor's
+//! accuracy improves?
+//!
+//! We model the monitor with two knobs:
+//! * `miss_rate` — probability a faulty process goes undetected in one
+//!   prediction string (a false negative, contributing to `B_F`);
+//! * `fp_rate` — probability an honest process is wrongly flagged
+//!   (a false positive, contributing to `B_H`).
+//!
+//! ```sh
+//! cargo run --release --example security_monitor
+//! ```
+
+use ba_core::{PredictionMatrix, UnauthWrapper};
+use ba_predictions::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Builds monitor output: each honest process receives an independent
+/// noisy reading of the same underlying detector.
+fn monitor_predictions(
+    n: usize,
+    faulty: &BTreeSet<ProcessId>,
+    miss_rate: f64,
+    fp_rate: f64,
+    seed: u64,
+) -> PredictionMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = PredictionMatrix::perfect(n, faulty);
+    for row in ProcessId::all(n) {
+        if faulty.contains(&row) {
+            continue;
+        }
+        for col in 0..n {
+            let is_faulty = faulty.contains(&ProcessId(col as u32));
+            let flip = if is_faulty {
+                rng.gen_bool(miss_rate)
+            } else {
+                rng.gen_bool(fp_rate)
+            };
+            if flip {
+                let cur = m.row(row).get(col);
+                m.row_mut(row).set(col, !cur);
+            }
+        }
+    }
+    m
+}
+
+fn run_with_monitor(n: usize, t: usize, faulty: &BTreeSet<ProcessId>, m: &PredictionMatrix) -> (u64, u64, usize) {
+    let mut honest = BTreeMap::new();
+    for id in ProcessId::all(n).filter(|p| !faulty.contains(p)) {
+        honest.insert(
+            id,
+            UnauthWrapper::new(id, n, t, Value(7), m.row(id).clone()),
+        );
+    }
+    let max = UnauthWrapper::schedule(n, t).total_steps + 4;
+    let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+    let report = runner.run(max);
+    assert!(report.agreement(), "agreement must hold at any noise level");
+    assert_eq!(report.decision(), Some(&Value(7)), "validity");
+    let b = m.total_errors(faulty);
+    (
+        report.last_decision_round.expect("all decided"),
+        report.honest_messages_until_decision,
+        b,
+    )
+}
+
+fn main() {
+    println!("Security-monitor scenario: agreement latency vs monitor quality\n");
+    let (n, t, f) = (24, 7, 5);
+    let faulty = faults(n, f, FaultPlacement::Spread);
+
+    let mut table = Table::new(
+        &format!("n = {n}, t = {t}, f = {f}, unauthenticated pipeline"),
+        &["monitor", "miss%", "fp%", "B", "rounds", "messages"],
+    );
+    let profiles = [
+        ("ideal detector", 0.00, 0.00),
+        ("strong commercial", 0.05, 0.02),
+        ("mediocre", 0.20, 0.10),
+        ("coin-flipping", 0.50, 0.50),
+        ("adversarially wrong", 1.00, 1.00),
+    ];
+    let mut rows = Vec::new();
+    for (name, miss, fp) in profiles {
+        let m = monitor_predictions(n, &faulty, miss, fp, 0xfeed);
+        let (rounds, msgs, b) = run_with_monitor(n, t, &faulty, &m);
+        table.row([
+            name.to_string(),
+            format!("{:.0}", miss * 100.0),
+            format!("{:.0}", fp * 100.0),
+            b.to_string(),
+            rounds.to_string(),
+            msgs.to_string(),
+        ]);
+        rows.push((name, rounds));
+    }
+    table.print();
+
+    let ideal = rows.first().expect("profiles non-empty").1;
+    let worst = rows.last().expect("profiles non-empty").1;
+    println!(
+        "An ideal monitor decided in {ideal} rounds; a maximally wrong one \
+         degraded gracefully to {worst} rounds — never losing agreement, \
+         exactly the contract of Theorem 11."
+    );
+}

@@ -1,0 +1,65 @@
+//! # ba-predictions — Byzantine Agreement with Predictions
+//!
+//! A production-quality Rust reproduction of *Byzantine Agreement with
+//! Predictions* (Ben-David, Dzulfikar, Ellen, Gilbert — PODC 2025,
+//! arXiv:2505.01793), packaged as a workspace facade.
+//!
+//! The paper asks: can Byzantine agreement exploit unreliable hints — an
+//! `n`-bit *classification prediction* per process, guessing who is
+//! faulty, produced e.g. by a network security monitor? Its answers,
+//! all reproduced and measured here:
+//!
+//! * **Yes, for time**: agreement in `O(min{B/n + 1, f})` rounds, where
+//!   `B` is the total number of wrong prediction bits and `f` the actual
+//!   fault count (Theorems 11 and 12; benches E1/E2), and that bound is
+//!   optimal (Theorem 13; bench E3).
+//! * **No, for messages**: `Ω(n + t²)` messages remain necessary even
+//!   with perfectly accurate predictions (Theorem 14; bench E4).
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`ba_sim`] | deterministic synchronous simulator, rushing Byzantine adversary |
+//! | [`ba_crypto`] | SHA-256, HMAC, simulated PKI (substitution S1) |
+//! | [`ba_graded`] | graded consensus: 2-round unauth (S2), certified gradecast + 5-round auth (S3) |
+//! | [`ba_unauth`] | Algorithms 3, 4, 5 (§7) |
+//! | [`ba_auth`] | committee certificates, message chains, Algorithms 6, 7 (§8) |
+//! | [`ba_early`] | early-stopping substrates (S4, S5) and prediction-free baselines |
+//! | [`ba_core`] | predictions, Algorithm 2, `π(c)` orderings, the Algorithm 1 wrapper |
+//! | [`ba_workloads`] | generators, adversary gallery, experiment harness, lower bounds |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use ba_predictions::prelude::*;
+//!
+//! let outcome = ExperimentConfig::new(16, 5, 2, /* B = */ 8, Pipeline::Unauth).run();
+//! assert!(outcome.agreement && outcome.validity_ok);
+//! println!("decided in {:?} rounds, {} messages", outcome.rounds, outcome.messages);
+//! ```
+
+pub use ba_auth;
+pub use ba_core;
+pub use ba_crypto;
+pub use ba_early;
+pub use ba_graded;
+pub use ba_sim;
+pub use ba_unauth;
+pub use ba_workloads;
+
+/// The most common imports for running experiments against the paper's
+/// algorithms.
+pub mod prelude {
+    pub use ba_core::{
+        AuthWrapper, BitVec, Classify, MisclassificationReport, PredictionMatrix, UnauthWrapper,
+    };
+    pub use ba_sim::{ProcessId, RunReport, Runner, SilentAdversary, Value};
+    pub use ba_workloads::{
+        faults, message_lower_bound, predictions_with_budget, round_lower_bound, AdversaryKind,
+        ErrorPlacement, ExperimentConfig, ExperimentOutcome, FaultPlacement, InputPattern,
+        Pipeline, Table,
+    };
+}

@@ -1,0 +1,108 @@
+//! End-to-end integration matrix: both pipelines × adversaries ×
+//! prediction placements. Safety (Agreement) and Validity (Strong
+//! Unanimity under unanimous inputs) must hold in every single cell;
+//! liveness must land within the deterministic schedule.
+
+use ba_core::{AuthWrapper, UnauthWrapper};
+use ba_predictions::prelude::*;
+use ba_workloads::LiarStyle;
+
+fn matrix() -> Vec<ExperimentConfig> {
+    let mut cfgs = Vec::new();
+    for pipeline in [Pipeline::Unauth, Pipeline::Auth] {
+        let (n, t) = match pipeline {
+            Pipeline::Unauth => (16usize, 5usize),
+            Pipeline::Auth => (12, 5),
+        };
+        for f in [0usize, 2, t] {
+            for budget in [0usize, 10, n * n / 2] {
+                for adversary in [
+                    AdversaryKind::Silent,
+                    AdversaryKind::ClassifyLiar(LiarStyle::Inverted),
+                    AdversaryKind::Replay,
+                    AdversaryKind::Disruptor,
+                ] {
+                    for placement in [ErrorPlacement::Uniform, ErrorPlacement::TrustedFaults] {
+                        let mut cfg = ExperimentConfig::new(n, t, f, budget, pipeline);
+                        cfg.adversary = adversary;
+                        cfg.placement = placement;
+                        cfg.fault_placement = FaultPlacement::Head;
+                        cfg.seed = 17;
+                        cfgs.push(cfg);
+                    }
+                }
+            }
+        }
+    }
+    cfgs
+}
+
+#[test]
+fn agreement_and_liveness_across_the_matrix() {
+    for cfg in matrix() {
+        let out = cfg.run();
+        assert!(
+            out.agreement,
+            "agreement failed: {:?} f={} B={} {:?} {:?}",
+            cfg.pipeline, cfg.f, cfg.budget, cfg.adversary, cfg.placement
+        );
+        assert!(
+            out.rounds.is_some(),
+            "liveness failed: {:?} f={} B={} {:?}",
+            cfg.pipeline, cfg.f, cfg.budget, cfg.adversary
+        );
+    }
+}
+
+#[test]
+fn strong_unanimity_across_the_matrix() {
+    for mut cfg in matrix() {
+        cfg.inputs = InputPattern::Unanimous(77);
+        let out = cfg.run();
+        assert!(
+            out.validity_ok,
+            "validity failed: {:?} f={} B={} {:?}",
+            cfg.pipeline, cfg.f, cfg.budget, cfg.adversary
+        );
+    }
+}
+
+#[test]
+fn rounds_never_exceed_the_deterministic_schedule() {
+    for cfg in matrix() {
+        let out = cfg.run();
+        let bound = match cfg.pipeline {
+            Pipeline::Unauth => UnauthWrapper::schedule(cfg.n, cfg.t).total_steps,
+            Pipeline::Auth => AuthWrapper::schedule(cfg.n, cfg.t).total_steps,
+        };
+        assert!(
+            out.rounds.unwrap_or(u64::MAX) <= bound,
+            "{:?}: {} > {}",
+            cfg.pipeline,
+            out.rounds.unwrap_or(u64::MAX),
+            bound
+        );
+    }
+}
+
+#[test]
+fn messages_respect_the_dolev_reischuk_floor() {
+    // Theorem 14: even perfect predictions cannot beat Ω(n + t²).
+    for pipeline in [Pipeline::Unauth, Pipeline::Auth] {
+        let (n, t) = (16usize, 5usize);
+        let mut cfg = ExperimentConfig::new(n, t, t, 0, pipeline);
+        cfg.inputs = InputPattern::Unanimous(3);
+        let out = cfg.run();
+        assert!(out.messages >= message_lower_bound(n, t));
+    }
+}
+
+#[test]
+fn decisions_are_identical_across_seeds_for_fixed_config() {
+    let mut cfg = ExperimentConfig::new(16, 5, 3, 20, Pipeline::Unauth);
+    cfg.adversary = AdversaryKind::Disruptor;
+    let a = cfg.run();
+    let b = cfg.run();
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.messages, b.messages);
+}

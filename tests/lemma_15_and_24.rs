@@ -1,0 +1,166 @@
+//! Executable checks for two structural lemmas not covered by the other
+//! suites:
+//!
+//! * **Lemma 15** (§7.3): a faulty process appears in the listen sets of
+//!   honest processes in at most two *consecutive* phases of
+//!   Algorithm 5's block schedule.
+//! * **Lemma 24** (§8.3): with `2k+1 ≤ n−t−k`, the implicit committee
+//!   `C` of Algorithm 7 satisfies `|C| ≤ 3k+1`, `|C∩F| ≤ k`, and
+//!   `|C∩H| ≥ k+1`.
+
+use ba_core::{misclassified_by, pi_order, truth_vector, BitVec};
+use ba_sim::{ProcessId, Runner, SilentAdversary, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The phases in which `id` falls inside some order's phase block.
+fn phases_containing(orders: &[Vec<ProcessId>], id: ProcessId, k: usize) -> BTreeSet<usize> {
+    let block = 3 * k + 1;
+    let phases = 2 * k + 1;
+    let mut out = BTreeSet::new();
+    for order in orders {
+        for phase in 0..phases {
+            if order[block * phase..block * (phase + 1)].contains(&id) {
+                out.insert(phase);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Lemma 15, checked combinatorially over random classification
+    /// vectors whose total misclassification count respects the k bound:
+    /// every faulty process's phase-block appearances across all honest
+    /// orderings span at most two consecutive phases.
+    #[test]
+    fn lemma15_faulty_in_at_most_two_consecutive_phases(
+        k in 1usize..3,
+        faulty_fracs in proptest::collection::btree_set(0usize..1000, 1..6),
+        flips in proptest::collection::vec(
+            proptest::collection::vec(0usize..1000, 0..2),
+            2..5,
+        ),
+    ) {
+        // Size the system so (2k+1)(3k+1) ≤ n − t − k with t = |F|.
+        let t = faulty_fracs.len();
+        let n = (2 * k + 1) * (3 * k + 1) + t + k + 2;
+        // Map sampled fractions into identifier space (dedup may shrink
+        // the fault set; that only loosens the premise).
+        let faulty: BTreeSet<ProcessId> = faulty_fracs
+            .iter()
+            .map(|f| ProcessId((f * n / 1000) as u32))
+            .collect();
+        let truth = truth_vector(n, &faulty);
+        // Build honest classification vectors with few flips each.
+        let vecs: Vec<BitVec> = flips
+            .iter()
+            .map(|cols| {
+                let mut c = truth.clone();
+                for &col in cols {
+                    let col = col * n / 1000;
+                    let cur = c.get(col);
+                    c.set(col, !cur);
+                }
+                c
+            })
+            .collect();
+        // Lemma 15's premise: k bounds the total misclassification count.
+        let k_a: BTreeSet<ProcessId> = vecs
+            .iter()
+            .flat_map(|c| misclassified_by(c, &faulty))
+            .collect();
+        prop_assume!(k_a.len() <= k);
+        let orders: Vec<Vec<ProcessId>> = vecs.iter().map(pi_order).collect();
+        for &fp in &faulty {
+            let phases = phases_containing(&orders, fp, k);
+            prop_assert!(
+                phases.len() <= 2,
+                "{fp} appears in phases {phases:?}"
+            );
+            if phases.len() == 2 {
+                let lo = *phases.iter().next().expect("non-empty");
+                let hi = *phases.iter().last().expect("non-empty");
+                prop_assert_eq!(hi - lo, 1, "{} in non-consecutive phases {:?}", fp, phases);
+            }
+        }
+    }
+}
+
+/// Lemma 24, checked white-box on real Algorithm 7 executions: count who
+/// obtained a committee certificate.
+#[test]
+fn lemma24_committee_composition() {
+    use ba_auth::AuthBaWithClassification;
+    use ba_crypto::Pki;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    for (n, t, k, f) in [(10usize, 3usize, 2usize, 2usize), (20, 7, 4, 3), (40, 13, 8, 6)] {
+        assert!(AuthBaWithClassification::condition_holds(n, t, k));
+        let pki = Arc::new(Pki::new(n, 5));
+        // Ground truth: the first f identifiers are faulty and silent;
+        // honest processes use the *trivial* classification (identity
+        // order), so every faulty process is misclassified: kA = f ≤ k.
+        assert!(f <= k);
+        let order: Arc<Vec<ProcessId>> = Arc::new(ProcessId::all(n).collect());
+        let honest: BTreeMap<ProcessId, AuthBaWithClassification> = ProcessId::all(n)
+            .skip(f)
+            .map(|id| {
+                (
+                    id,
+                    AuthBaWithClassification::new(
+                        id,
+                        n,
+                        t,
+                        k,
+                        1,
+                        Value(3),
+                        Arc::clone(&order),
+                        Arc::clone(&pki),
+                        pki.signing_key(id.0),
+                    ),
+                )
+            })
+            .collect();
+        let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+        let report = runner.run(AuthBaWithClassification::rounds(k) + 2);
+        assert!(report.agreement());
+
+        // White-box committee census among honest processes. (Faulty
+        // processes are silent here so none of them is certified; the
+        // |C∩F| ≤ k bound is exercised adversarially in the E2/E6
+        // suites — this test pins the honest-membership bounds.)
+        let honest_certified: Vec<ProcessId> = ProcessId::all(n)
+            .skip(f)
+            .filter(|&id| {
+                runner
+                    .process(id)
+                    .map(|p| p.certificate().is_some())
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert!(
+            honest_certified.len() >= k + 1,
+            "n={n}: only {} honest committee members, need ≥ k+1 = {}",
+            honest_certified.len(),
+            k + 1
+        );
+        assert!(
+            honest_certified.len() <= 3 * k + 1,
+            "n={n}: {} certified exceeds |C| ≤ 3k+1",
+            honest_certified.len()
+        );
+        // Certified processes sit within the first 2k+1 priorities plus
+        // the k_H drift allowance (Lemma 6); with the identity order and
+        // no honest misclassifications: exactly the first 2k+1 ids.
+        for id in &honest_certified {
+            assert!(
+                (id.index()) < 2 * k + 1,
+                "n={n}: {id} certified outside the priority prefix"
+            );
+        }
+    }
+}

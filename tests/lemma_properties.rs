@@ -1,0 +1,139 @@
+//! Property tests for the paper's numbered lemmas, over randomly
+//! generated classification patterns (no protocol execution — these
+//! check the combinatorial statements of §6 directly).
+
+use ba_core::{core_of_window, misclassified_by, pi_order, position_in, truth_vector, BitVec};
+use ba_sim::ProcessId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Generates (n, fault set, a classification with some misclassified
+/// processes).
+fn classification_scenario() -> impl Strategy<Value = (usize, BTreeSet<ProcessId>, Vec<BitVec>)> {
+    (8usize..24).prop_flat_map(|n| {
+        let t = (n - 1) / 3;
+        (
+            Just(n),
+            proptest::collection::btree_set(0..n as u32, 0..=t),
+            proptest::collection::vec(
+                proptest::collection::vec(0..n, 0..4),
+                1..4,
+            ),
+        )
+            .prop_map(|(n, faulty_raw, flips_per_vec)| {
+                let faulty: BTreeSet<ProcessId> = faulty_raw.into_iter().map(ProcessId).collect();
+                let truth = truth_vector(n, &faulty);
+                let vecs: Vec<BitVec> = flips_per_vec
+                    .into_iter()
+                    .map(|flips| {
+                        let mut c = truth.clone();
+                        for i in flips {
+                            let cur = c.get(i);
+                            c.set(i, !cur);
+                        }
+                        c
+                    })
+                    .collect();
+                (n, faulty, vecs)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Lemma 2: a classification misclassifying m processes shifts the
+    /// π-position of every properly-classified process by at most m.
+    #[test]
+    fn lemma2_position_drift((n, faulty, vecs) in classification_scenario()) {
+        let truth = truth_vector(n, &faulty);
+        let pt = pi_order(&truth);
+        for c in &vecs {
+            let mis = misclassified_by(c, &faulty);
+            let po = pi_order(c);
+            for i in 0..n {
+                let id = ProcessId(i as u32);
+                if mis.contains(&id) {
+                    continue;
+                }
+                let drift = position_in(&po, id).abs_diff(position_in(&pt, id));
+                prop_assert!(drift <= mis.len(), "p{i}: drift {drift} > m {}", mis.len());
+            }
+        }
+    }
+
+    /// Corollary 1: a faulty process within the first n − t − k_A
+    /// positions of some vector's π-order is misclassified by it.
+    #[test]
+    fn corollary1_early_faulty_is_misclassified((n, faulty, vecs) in classification_scenario()) {
+        let t = (n - 1) / 3;
+        let k_a: BTreeSet<ProcessId> = vecs
+            .iter()
+            .flat_map(|c| misclassified_by(c, &faulty))
+            .collect();
+        prop_assume!(n > t + k_a.len());
+        for c in &vecs {
+            let order = pi_order(c);
+            let own_mis = misclassified_by(c, &faulty);
+            for &fp in &faulty {
+                if position_in(&order, fp) < n - t - k_a.len() {
+                    prop_assert!(own_mis.contains(&fp));
+                }
+            }
+        }
+    }
+
+    /// Lemma 4: two vectors both misclassifying the same faulty process
+    /// place it within k_A − 1 positions of each other.
+    #[test]
+    fn lemma4_shared_faulty_drift((_n, faulty, vecs) in classification_scenario()) {
+        prop_assume!(vecs.len() >= 2);
+        let k_a: BTreeSet<ProcessId> = vecs
+            .iter()
+            .flat_map(|c| misclassified_by(c, &faulty))
+            .collect();
+        for a in 0..vecs.len() {
+            for b in (a + 1)..vecs.len() {
+                let (ca, cb) = (&vecs[a], &vecs[b]);
+                for &fp in &faulty {
+                    let both = misclassified_by(ca, &faulty).contains(&fp)
+                        && misclassified_by(cb, &faulty).contains(&fp);
+                    if both && !k_a.is_empty() {
+                        let drift = position_in(&pi_order(ca), fp)
+                            .abs_diff(position_in(&pi_order(cb), fp));
+                        prop_assert!(drift <= k_a.len() - 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemma 5: any window [lo, hi) with lo + k_A ≤ hi ≤ n − t − k_A
+    /// shares a core of ≥ (hi − lo) − k_A identifiers across all vectors,
+    /// and (in this regime) the core contains honest processes only.
+    #[test]
+    fn lemma5_core_window((n, faulty, vecs) in classification_scenario()) {
+        let t = (n - 1) / 3;
+        let k_a: BTreeSet<ProcessId> = vecs
+            .iter()
+            .flat_map(|c| misclassified_by(c, &faulty))
+            .collect();
+        let k = k_a.len();
+        prop_assume!(faulty.len() <= t);
+        prop_assume!(n > t + 2 * k);
+        let orders: Vec<Vec<ProcessId>> = vecs.iter().map(pi_order).collect();
+        let hi = n - t - k;
+        for lo in [0usize, hi.saturating_sub(2 * k + 1)] {
+            if lo + k > hi {
+                continue;
+            }
+            let core = core_of_window(&orders, lo, hi);
+            prop_assert!(
+                core.len() >= (hi - lo) - k,
+                "core {} < {} - {k}",
+                core.len(),
+                hi - lo
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based safety: for *randomly sampled* systems, fault
+//! patterns, prediction budgets, placements and adversaries, Agreement
+//! and Strong Unanimity must hold in every sampled execution of both
+//! pipelines. This is the repository's broadest randomized attack
+//! surface.
+
+use ba_predictions::prelude::*;
+use ba_workloads::LiarStyle;
+use proptest::prelude::*;
+
+fn placement_strategy() -> impl Strategy<Value = ErrorPlacement> {
+    prop_oneof![
+        Just(ErrorPlacement::Uniform),
+        Just(ErrorPlacement::Concentrated),
+        Just(ErrorPlacement::MissedFaultsOnly),
+        Just(ErrorPlacement::FalseAccusationsOnly),
+        Just(ErrorPlacement::TrustedFaults),
+    ]
+}
+
+fn fault_placement_strategy() -> impl Strategy<Value = FaultPlacement> {
+    prop_oneof![
+        Just(FaultPlacement::Head),
+        Just(FaultPlacement::Tail),
+        Just(FaultPlacement::Spread),
+        Just(FaultPlacement::Pairs),
+    ]
+}
+
+fn adversary_strategy() -> impl Strategy<Value = AdversaryKind> {
+    prop_oneof![
+        Just(AdversaryKind::Silent),
+        Just(AdversaryKind::ClassifyLiar(LiarStyle::AllOnes)),
+        Just(AdversaryKind::ClassifyLiar(LiarStyle::AllZeros)),
+        Just(AdversaryKind::ClassifyLiar(LiarStyle::Inverted)),
+        Just(AdversaryKind::ClassifyLiar(LiarStyle::RandomPerRecipient)),
+        Just(AdversaryKind::Replay),
+        Just(AdversaryKind::Disruptor),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn unauth_pipeline_is_always_safe(
+        n in 10usize..20,
+        t_frac in 1usize..3,
+        f_frac in 0usize..=100,
+        budget in 0usize..200,
+        placement in placement_strategy(),
+        fault_placement in fault_placement_strategy(),
+        adversary in adversary_strategy(),
+        seed in 0u64..1000,
+        unanimous in proptest::bool::ANY,
+    ) {
+        let t = ((n - 1) / 3).min(t_frac + 1).max(1);
+        let f = t * f_frac / 100;
+        let mut cfg = ExperimentConfig::new(n, t, f, budget, Pipeline::Unauth);
+        cfg.placement = placement;
+        cfg.fault_placement = fault_placement;
+        cfg.adversary = adversary;
+        cfg.seed = seed;
+        if unanimous {
+            cfg.inputs = InputPattern::Unanimous(9);
+        }
+        let out = cfg.run();
+        prop_assert!(out.agreement, "agreement violated");
+        prop_assert!(out.rounds.is_some(), "liveness violated");
+        if unanimous {
+            prop_assert!(out.validity_ok, "strong unanimity violated");
+        }
+    }
+
+    #[test]
+    fn auth_pipeline_is_always_safe(
+        n in 8usize..14,
+        f_frac in 0usize..=100,
+        budget in 0usize..150,
+        placement in placement_strategy(),
+        fault_placement in fault_placement_strategy(),
+        adversary in adversary_strategy(),
+        seed in 0u64..1000,
+        unanimous in proptest::bool::ANY,
+    ) {
+        let t = (n - 1) / 2;
+        let f = t * f_frac / 100;
+        let mut cfg = ExperimentConfig::new(n, t, f, budget, Pipeline::Auth);
+        cfg.placement = placement;
+        cfg.fault_placement = fault_placement;
+        cfg.adversary = adversary;
+        cfg.seed = seed;
+        if unanimous {
+            cfg.inputs = InputPattern::Unanimous(4);
+        }
+        let out = cfg.run();
+        prop_assert!(out.agreement, "agreement violated");
+        prop_assert!(out.rounds.is_some(), "liveness violated");
+        if unanimous {
+            prop_assert!(out.validity_ok, "strong unanimity violated");
+        }
+    }
+}
