@@ -83,7 +83,7 @@ impl AuthBaWithClassification {
     /// Theorem 6's correctness precondition `2k + 1 ≤ n − t − k` and
     /// `t < n/2`.
     pub fn condition_holds(n: usize, t: usize, k: usize) -> bool {
-        2 * t < n && n >= t + k && 2 * k + 1 <= n - t - k
+        2 * t < n && n >= t + k && 2 * k < n - t - k
     }
 
     /// Creates the state machine for process `me`.
@@ -103,7 +103,7 @@ impl AuthBaWithClassification {
         key: SigningKey,
     ) -> Self {
         assert_eq!(order.len(), n, "π(c) must order all n identifiers");
-        assert!(2 * k + 1 <= n, "committee votes need 2k + 1 candidates");
+        assert!(2 * k < n, "committee votes need 2k + 1 candidates");
         assert_eq!(key.id(), me.0);
         AuthBaWithClassification {
             me,
@@ -159,9 +159,7 @@ impl Process for AuthBaWithClassification {
             // Round 1: vote for the first 2k+1 priorities (line 3).
             0 => {
                 for &cand in self.order.iter().take(2 * self.k + 1) {
-                    let sig = self
-                        .key
-                        .sign(&committee_bytes(self.session, cand.0));
+                    let sig = self.key.sign(&committee_bytes(self.session, cand.0));
                     out.send(cand, Alg7Msg::CommitteeVote(sig));
                 }
             }
@@ -210,10 +208,8 @@ impl Process for AuthBaWithClassification {
                         // often among the broadcast outputs; fall back to
                         // the own input if every instance returned ⊥
                         // (documented deviation, DESIGN.md §3).
-                        let tally: Tally<Value> =
-                            outputs.iter().flatten().copied().collect();
-                        let plurality =
-                            tally.plurality().copied().unwrap_or(self.input);
+                        let tally: Tally<Value> = outputs.iter().flatten().copied().collect();
+                        let plurality = tally.plurality().copied().unwrap_or(self.input);
                         out.broadcast(Alg7Msg::Plurality {
                             value: plurality,
                             cert: cert.clone(),
@@ -299,7 +295,11 @@ mod tests {
         assert!(AuthBaWithClassification::condition_holds(n, t, k));
         let pki = Arc::new(Pki::new(n, 4));
         let order = identity_order(n);
-        let mut runner = Runner::new(n, system(n, t, k, 1, &[7; 10], &order, &pki), SilentAdversary);
+        let mut runner = Runner::new(
+            n,
+            system(n, t, k, 1, &[7; 10], &order, &pki),
+            SilentAdversary,
+        );
         let report = runner.run(AuthBaWithClassification::rounds(k) + 2);
         assert!(report.agreement());
         assert_eq!(report.decision(), Some(&Value(7)));
@@ -377,7 +377,8 @@ mod tests {
                     if let Some(cert) = CommitteeCert::assemble(0, &votes, t) {
                         assert!(cert.verify(session, t, &pki_for_adv));
                         use crate::chains::MessageChain;
-                        let a = MessageChain::start(session, 0, Value(100), &key0, Some(cert.clone()));
+                        let a =
+                            MessageChain::start(session, 0, Value(100), &key0, Some(cert.clone()));
                         let b = MessageChain::start(session, 0, Value(200), &key0, Some(cert));
                         for to in 0..5u32 {
                             ctx.send(
@@ -429,7 +430,11 @@ mod tests {
         let (t, k) = (3, 2);
         let pki = Arc::new(Pki::new(n, 4));
         let order = identity_order(n);
-        let mut runner = Runner::new(n, system(n, t, k, 1, &[3; 10], &order, &pki), SilentAdversary);
+        let mut runner = Runner::new(
+            n,
+            system(n, t, k, 1, &[3; 10], &order, &pki),
+            SilentAdversary,
+        );
         let report = runner.run(AuthBaWithClassification::rounds(k) + 2);
         assert!(report.agreement());
         // White-box: only the first 2k+1 = 5 processes can have collected
@@ -453,7 +458,11 @@ mod tests {
         let pki = Arc::new(Pki::new(n, 5));
         let order = identity_order(n);
         let inputs: Vec<u64> = (0..8).map(|i| i % 2).collect();
-        let mut runner = Runner::new(n, system(n, t, k, 1, &inputs, &order, &pki), SilentAdversary);
+        let mut runner = Runner::new(
+            n,
+            system(n, t, k, 1, &inputs, &order, &pki),
+            SilentAdversary,
+        );
         let report = runner.run(40);
         assert!(report.all_decided());
         assert_eq!(
@@ -519,7 +528,13 @@ mod tests {
     #[test]
     fn condition_check_matches_paper() {
         assert!(AuthBaWithClassification::condition_holds(10, 3, 2));
-        assert!(!AuthBaWithClassification::condition_holds(10, 5, 2), "t < n/2 required");
-        assert!(!AuthBaWithClassification::condition_holds(10, 3, 3), "2k+1 ≤ n-t-k violated");
+        assert!(
+            !AuthBaWithClassification::condition_holds(10, 5, 2),
+            "t < n/2 required"
+        );
+        assert!(
+            !AuthBaWithClassification::condition_holds(10, 3, 3),
+            "2k+1 ≤ n-t-k violated"
+        );
     }
 }

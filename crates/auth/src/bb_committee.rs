@@ -283,8 +283,7 @@ impl Process for ParallelBroadcast {
             let me = self.me.0;
             let cert = self.my_cert.clone();
             let value = self.my_value;
-            if let Some(chain) =
-                self.instances[self.me.index()].make_start(&self.key, cert, value)
+            if let Some(chain) = self.instances[self.me.index()].make_start(&self.key, cert, value)
             {
                 batch.push((me, chain));
             }

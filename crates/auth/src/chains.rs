@@ -54,10 +54,7 @@ impl CommitteeCert {
     pub fn assemble(member: u32, votes: &[Signature], t: usize) -> Option<Self> {
         let mut by_signer: Vec<&Signature> = {
             let mut seen = BTreeSet::new();
-            votes
-                .iter()
-                .filter(|s| seen.insert(s.signer))
-                .collect()
+            votes.iter().filter(|s| seen.insert(s.signer)).collect()
         };
         by_signer.sort_by_key(|s| s.signer);
         if by_signer.len() < t + 1 {
@@ -79,7 +76,7 @@ impl CommitteeCert {
                 return false;
             }
         }
-        signers.len() >= t + 1
+        signers.len() > t
     }
 }
 
@@ -185,15 +182,18 @@ impl MessageChain {
                 return false;
             }
             match (&link.cert, require_certs) {
-                (Some(cert), true) => {
-                    if cert.member != link.sig.signer || !cert.verify(session, t, pki) {
-                        return false;
-                    }
+                (Some(cert), true)
+                    if (cert.member != link.sig.signer || !cert.verify(session, t, pki)) =>
+                {
+                    return false;
                 }
                 (None, true) => return false,
                 _ => {}
             }
-            if !pki.verify(&chain_link_bytes(session, inst, self.value, &prior), &link.sig) {
+            if !pki.verify(
+                &chain_link_bytes(session, inst, self.value, &prior),
+                &link.sig,
+            ) {
                 return false;
             }
             prior.push(link.sig);
@@ -305,7 +305,8 @@ mod tests {
         let pki = pki();
         let session = 3;
         let c1 = cert_for(&pki, session, 1, &[0, 2, 4]);
-        let chain = MessageChain::start(session, 1, Value(8), &pki.signing_key(1), Some(c1.clone()));
+        let chain =
+            MessageChain::start(session, 1, Value(8), &pki.signing_key(1), Some(c1.clone()));
         let selfie = chain.extend(session, 1, &pki.signing_key(1), Some(c1));
         assert!(
             !selfie.verify(session, 1, 2, true, &pki),
@@ -339,7 +340,8 @@ mod tests {
         let session = 3;
         // p5 presents p1's certificate.
         let c1 = cert_for(&pki, session, 1, &[0, 2, 4]);
-        let chain = MessageChain::start(session, 1, Value(8), &pki.signing_key(1), Some(c1.clone()));
+        let chain =
+            MessageChain::start(session, 1, Value(8), &pki.signing_key(1), Some(c1.clone()));
         let bad = chain.extend(session, 1, &pki.signing_key(5), Some(c1));
         assert!(!bad.verify(session, 1, 2, true, &pki));
     }

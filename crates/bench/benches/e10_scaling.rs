@@ -17,8 +17,8 @@ fn main() {
     let mut samples = Vec::new();
     for n in [16usize, 24, 32, 48, 64] {
         let t = (n - 1) / 3;
-        let mut cfg = ExperimentConfig::new(n, t, t, 0, Pipeline::Unauth);
-        cfg.inputs = InputPattern::Unanimous(4);
+        let cfg = ExperimentConfig::new(n, t, t, 0, Pipeline::Unauth)
+            .with_inputs(InputPattern::Unanimous(4));
         let s = sweep_seeds(&cfg, 0..3);
         assert!(s.always_agreed && s.always_valid);
         samples.push((n as f64, s.messages_max as f64));

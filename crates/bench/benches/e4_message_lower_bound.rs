@@ -8,12 +8,21 @@ use ba_workloads::{message_lower_bound, ExperimentConfig, InputPattern, Pipeline
 fn main() {
     let mut table = Table::new(
         "E4: messages with perfect predictions (B = 0) vs Theorem 14 floor",
-        &["n", "t", "f", "pipeline", "msgs", "msgs/n²", "floor", "≥ floor"],
+        &[
+            "n",
+            "t",
+            "f",
+            "pipeline",
+            "msgs",
+            "msgs/n²",
+            "floor",
+            "≥ floor",
+        ],
     );
     for (n, t) in [(16usize, 5usize), (24, 7), (32, 10), (48, 15), (64, 21)] {
         for (pipeline, f) in [(Pipeline::Unauth, t), (Pipeline::Auth, t)] {
-            let mut cfg = ExperimentConfig::new(n, t, f, 0, pipeline);
-            cfg.inputs = InputPattern::Unanimous(5);
+            let cfg =
+                ExperimentConfig::new(n, t, f, 0, pipeline).with_inputs(InputPattern::Unanimous(5));
             let out = cfg.run();
             assert!(out.agreement);
             let floor = message_lower_bound(n, t);

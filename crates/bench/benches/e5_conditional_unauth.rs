@@ -10,9 +10,23 @@ use std::sync::Arc;
 fn main() {
     let mut table = Table::new(
         "E5: Algorithm 5 (unauth conditional BA), f ≤ k, identity order",
-        &["n", "t", "k", "rounds(meas)", "5(2k+1)", "msgs", "nk² ref", "senders", "agree"],
+        &[
+            "n",
+            "t",
+            "k",
+            "rounds(meas)",
+            "5(2k+1)",
+            "msgs",
+            "nk² ref",
+            "senders",
+            "agree",
+        ],
     );
-    for (n, t, k, f) in [(16usize, 2usize, 1usize, 1usize), (40, 2, 2, 2), (96, 3, 3, 3)] {
+    for (n, t, k, f) in [
+        (16usize, 2usize, 1usize, 1usize),
+        (40, 2, 2, 2),
+        (96, 3, 3, 3),
+    ] {
         assert!(UnauthBaWithClassification::condition_holds(n, t, k));
         let order: Arc<Vec<ProcessId>> = Arc::new(ProcessId::all(n).collect());
         let honest: std::collections::BTreeMap<ProcessId, _> = ProcessId::all(n)
@@ -42,7 +56,12 @@ fn main() {
             .values()
             .filter(|&&c| c > 0)
             .count();
-        let per_process_max = report.messages_per_process.values().max().copied().unwrap_or(0);
+        let per_process_max = report
+            .messages_per_process
+            .values()
+            .max()
+            .copied()
+            .unwrap_or(0);
         assert!(per_process_max <= 5 * n as u64, "per-process 5n bound");
         table.row([
             n.to_string(),

@@ -11,7 +11,16 @@ use std::sync::Arc;
 fn main() {
     let mut table = Table::new(
         "E6: Algorithm 7 (auth conditional BA), f ≤ k, identity order",
-        &["n", "t", "k", "rounds(meas)", "k+3", "msgs", "nk² ref", "agree"],
+        &[
+            "n",
+            "t",
+            "k",
+            "rounds(meas)",
+            "k+3",
+            "msgs",
+            "nk² ref",
+            "agree",
+        ],
     );
     for (n, t, k, f) in [
         (10usize, 3usize, 2usize, 2usize),

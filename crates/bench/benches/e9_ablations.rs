@@ -23,10 +23,10 @@ fn main() {
         ErrorPlacement::FalseAccusationsOnly,
         ErrorPlacement::TrustedFaults,
     ] {
-        let mut cfg = ExperimentConfig::new(n, t, f, b, Pipeline::Unauth);
-        cfg.placement = placement;
-        cfg.fault_placement = FaultPlacement::Head;
-        cfg.adversary = AdversaryKind::Disruptor;
+        let cfg = ExperimentConfig::new(n, t, f, b, Pipeline::Unauth)
+            .with_placement(placement)
+            .with_fault_placement(FaultPlacement::Head)
+            .with_adversary(AdversaryKind::Disruptor);
         let out = cfg.run();
         assert!(out.agreement);
         p_tab.row([
@@ -42,11 +42,16 @@ fn main() {
         "E9b: fault placement (same B, disruptor)",
         &["fault ids", "rounds", "msgs"],
     );
-    for fp in [FaultPlacement::Head, FaultPlacement::Pairs, FaultPlacement::Spread, FaultPlacement::Tail] {
-        let mut cfg = ExperimentConfig::new(n, t, f, b, Pipeline::Unauth);
-        cfg.placement = ErrorPlacement::TrustedFaults;
-        cfg.fault_placement = fp;
-        cfg.adversary = AdversaryKind::Disruptor;
+    for fp in [
+        FaultPlacement::Head,
+        FaultPlacement::Pairs,
+        FaultPlacement::Spread,
+        FaultPlacement::Tail,
+    ] {
+        let cfg = ExperimentConfig::new(n, t, f, b, Pipeline::Unauth)
+            .with_placement(ErrorPlacement::TrustedFaults)
+            .with_fault_placement(fp)
+            .with_adversary(AdversaryKind::Disruptor);
         let out = cfg.run();
         assert!(out.agreement);
         f_tab.row([
@@ -63,14 +68,17 @@ fn main() {
     );
     for (name, adv) in [
         ("silent", AdversaryKind::Silent),
-        ("classify-liar", AdversaryKind::ClassifyLiar(LiarStyle::AllOnes)),
+        (
+            "classify-liar",
+            AdversaryKind::ClassifyLiar(LiarStyle::AllOnes),
+        ),
         ("replay", AdversaryKind::Replay),
         ("disruptor", AdversaryKind::Disruptor),
     ] {
-        let mut cfg = ExperimentConfig::new(n, t, f, b, Pipeline::Unauth);
-        cfg.placement = ErrorPlacement::TrustedFaults;
-        cfg.fault_placement = FaultPlacement::Head;
-        cfg.adversary = adv;
+        let cfg = ExperimentConfig::new(n, t, f, b, Pipeline::Unauth)
+            .with_placement(ErrorPlacement::TrustedFaults)
+            .with_fault_placement(FaultPlacement::Head)
+            .with_adversary(adv);
         let out = cfg.run();
         assert!(out.agreement, "{name} broke agreement");
         a_tab.row([

@@ -1,53 +1,87 @@
-//! Engine microbenchmarks (criterion): the substrates' wall-clock costs.
+//! Engine microbenchmarks: the substrates' wall-clock costs.
+//!
+//! The offline container has no `criterion`, so this is a plain timing
+//! harness: each benchmark is warmed up, then run for a fixed number of
+//! iterations, reporting the per-iteration mean and the fastest
+//! observed batch (a serviceable noise floor for a deterministic
+//! workload).
 
 use ba_crypto::{hmac_sha256, sha256, Pki};
 use ba_graded::UnauthGraded;
 use ba_sim::{ProcessId, Runner, SilentAdversary, Value};
-use criterion::{criterion_group, criterion_main, Criterion};
+use ba_workloads::Table;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_sha256(c: &mut Criterion) {
-    let data = vec![0xa5u8; 1024];
-    c.bench_function("sha256_1kib", |b| {
-        b.iter(|| sha256(black_box(&data)));
-    });
+/// Times `f` over `batches × per_batch` iterations, returning
+/// (mean ns/iter, best batch ns/iter).
+fn measure<R>(batches: u32, per_batch: u32, mut f: impl FnMut() -> R) -> (f64, f64) {
+    for _ in 0..per_batch.min(16) {
+        black_box(f());
+    }
+    let mut total_ns = 0u128;
+    let mut best_ns_per_iter = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..per_batch {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos();
+        total_ns += ns;
+        best_ns_per_iter = best_ns_per_iter.min(ns as f64 / f64::from(per_batch));
+    }
+    let mean = total_ns as f64 / (f64::from(batches) * f64::from(per_batch));
+    (mean, best_ns_per_iter)
 }
 
-fn bench_hmac(c: &mut Criterion) {
+fn main() {
+    let mut table = Table::new(
+        "engine microbenchmarks (ns/iter)",
+        &["benchmark", "mean", "best batch"],
+    );
+
+    let data = vec![0xa5u8; 1024];
+    let (mean, best) = measure(20, 200, || sha256(black_box(&data)));
+    table.row([
+        "sha256_1kib".to_string(),
+        format!("{mean:.0}"),
+        format!("{best:.0}"),
+    ]);
+
     let key = [7u8; 32];
     let msg = vec![1u8; 128];
-    c.bench_function("hmac_sha256_128b", |b| {
-        b.iter(|| hmac_sha256(black_box(&key), black_box(&msg)));
-    });
-}
+    let (mean, best) = measure(20, 500, || hmac_sha256(black_box(&key), black_box(&msg)));
+    table.row([
+        "hmac_sha256_128b".to_string(),
+        format!("{mean:.0}"),
+        format!("{best:.0}"),
+    ]);
 
-fn bench_sign_verify(c: &mut Criterion) {
     let pki = Pki::new(64, 1);
-    let key = pki.signing_key(3);
-    let sig = key.sign(b"benchmark message");
-    c.bench_function("pki_verify", |b| {
-        b.iter(|| pki.verify(black_box(b"benchmark message"), black_box(&sig)));
+    let signing_key = pki.signing_key(3);
+    let sig = signing_key.sign(b"benchmark message");
+    let (mean, best) = measure(20, 500, || {
+        pki.verify(black_box(b"benchmark message"), black_box(&sig))
     });
-}
+    table.row([
+        "pki_verify".to_string(),
+        format!("{mean:.0}"),
+        format!("{best:.0}"),
+    ]);
 
-fn bench_graded_consensus_round(c: &mut Criterion) {
-    c.bench_function("unauth_graded_consensus_n32", |b| {
-        b.iter(|| {
-            let n = 32;
-            let procs: Vec<_> = (0..n as u32)
-                .map(|i| UnauthGraded::new(ProcessId(i), n, 10, Value(u64::from(i % 2))))
-                .collect();
-            let mut runner = Runner::new(n, procs, SilentAdversary);
-            black_box(runner.run(4))
-        });
+    let (mean, best) = measure(10, 20, || {
+        let n = 32;
+        let procs: Vec<_> = (0..n as u32)
+            .map(|i| UnauthGraded::new(ProcessId(i), n, 10, Value(u64::from(i % 2))))
+            .collect();
+        let mut runner = Runner::new(n, procs, SilentAdversary);
+        black_box(runner.run(4))
     });
-}
+    table.row([
+        "unauth_graded_consensus_n32".to_string(),
+        format!("{mean:.0}"),
+        format!("{best:.0}"),
+    ]);
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_hmac,
-    bench_sign_verify,
-    bench_graded_consensus_round
-);
-criterion_main!(benches);
+    table.print();
+}

@@ -8,22 +8,41 @@
 //! The measured quantities are deterministic (rounds, messages), so the
 //! harnesses run each configuration once per seed and print tables
 //! rather than sampling wall-clock distributions; the `engine` bench
-//! uses criterion for the substrate microbenchmarks.
+//! times the substrate microbenchmarks directly.
 
 use ba_workloads::{
-    AdversaryKind, ErrorPlacement, ExperimentConfig, ExperimentOutcome, FaultPlacement,
-    Pipeline,
+    AdversaryKind, ErrorPlacement, ExperimentConfig, ExperimentOutcome, FaultPlacement, Pipeline,
 };
 
 /// The worst-case experiment configuration used by the shape sweeps:
 /// head-placed coalition, trusted-fault prediction spend, schedule-driven
 /// disruptor.
-pub fn worst_case(n: usize, t: usize, f: usize, budget: usize, pipeline: Pipeline) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::new(n, t, f, budget, pipeline);
-    cfg.placement = ErrorPlacement::TrustedFaults;
-    cfg.fault_placement = FaultPlacement::Head;
-    cfg.adversary = AdversaryKind::Disruptor;
-    cfg
+pub fn worst_case(
+    n: usize,
+    t: usize,
+    f: usize,
+    budget: usize,
+    pipeline: Pipeline,
+) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .n(n)
+        .t(t)
+        .faults(f, FaultPlacement::Head)
+        .budget(budget, ErrorPlacement::TrustedFaults)
+        .pipeline(pipeline)
+        .adversary(AdversaryKind::Disruptor)
+        .build()
+}
+
+/// A silent-fault baseline configuration for a prediction-free
+/// pipeline: the reference row the wrapper rows are compared against.
+pub fn baseline(n: usize, t: usize, f: usize, pipeline: Pipeline) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .n(n)
+        .t(t)
+        .faults(f, FaultPlacement::Head)
+        .pipeline(pipeline)
+        .build()
 }
 
 /// Runs and asserts the safety invariants every experiment must keep.
@@ -37,7 +56,10 @@ pub fn run_checked(cfg: &ExperimentConfig) -> ExperimentOutcome {
     assert!(
         out.rounds.is_some(),
         "liveness violated at n={} t={} f={} B={}",
-        cfg.n, cfg.t, cfg.f, cfg.budget
+        cfg.n,
+        cfg.t,
+        cfg.f,
+        cfg.budget
     );
     out
 }

@@ -52,7 +52,7 @@ impl Classify {
 
     /// The voting threshold `⌈(n+1)/2⌉`.
     pub fn threshold(n: usize) -> usize {
-        n.div_ceil(2) + usize::from(n % 2 == 0)
+        n.div_ceil(2) + usize::from(n.is_multiple_of(2))
     }
 
     /// Pure voting rule: classification from a set of received vectors.

@@ -62,7 +62,7 @@ pub use bitvec::BitVec;
 pub use classify::{Classify, ClassifyMsg, MisclassificationReport};
 pub use ordering::{core_of_window, misclassified_by, pi_order, position_in, truth_vector};
 pub use prediction::PredictionMatrix;
-pub use suspects::{matrix_from_suspect_lists, SuspectList};
 pub use schedule::{phase_budget, phase_count, Schedule, Slot, SlotKind};
+pub use suspects::{matrix_from_suspect_lists, SuspectList};
 pub use wrapper_auth::{AuthWrapper, AuthWrapperMsg};
 pub use wrapper_unauth::{UnauthWrapper, UnauthWrapperMsg};

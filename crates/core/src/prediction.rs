@@ -149,6 +149,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "n×n")]
     fn from_rows_validates_shape() {
-        let _ = PredictionMatrix::from_rows(vec![BitVec::zeros(3), BitVec::zeros(2), BitVec::zeros(3)]);
+        let _ =
+            PredictionMatrix::from_rows(vec![BitVec::zeros(3), BitVec::zeros(2), BitVec::zeros(3)]);
     }
 }

@@ -112,20 +112,27 @@ impl Schedule {
         let mut slots = Vec::new();
         let mut cursor = 0u64;
         let mut idx = 0u16;
-        let push = |kind: SlotKind, dur: u64, cursor: &mut u64, idx: &mut u16, slots: &mut Vec<Slot>| {
-            slots.push(Slot {
-                kind,
-                idx: *idx,
-                start: *cursor,
-                end: *cursor + dur,
-            });
-            *cursor += dur;
-            *idx += 1;
-        };
+        let push =
+            |kind: SlotKind, dur: u64, cursor: &mut u64, idx: &mut u16, slots: &mut Vec<Slot>| {
+                slots.push(Slot {
+                    kind,
+                    idx: *idx,
+                    start: *cursor,
+                    end: *cursor + dur,
+                });
+                *cursor += dur;
+                *idx += 1;
+            };
         push(SlotKind::Classify, 1, &mut cursor, &mut idx, &mut slots);
         for phase in 1..=phases {
             let k = phase_budget(phase);
-            push(SlotKind::GcA { phase }, gc_rounds, &mut cursor, &mut idx, &mut slots);
+            push(
+                SlotKind::GcA { phase },
+                gc_rounds,
+                &mut cursor,
+                &mut idx,
+                &mut slots,
+            );
             push(
                 SlotKind::Es { phase, k },
                 es_rounds(k),
@@ -133,7 +140,13 @@ impl Schedule {
                 &mut idx,
                 &mut slots,
             );
-            push(SlotKind::GcB { phase }, gc_rounds, &mut cursor, &mut idx, &mut slots);
+            push(
+                SlotKind::GcB { phase },
+                gc_rounds,
+                &mut cursor,
+                &mut idx,
+                &mut slots,
+            );
             if let Some(dur) = class_rounds(k) {
                 push(
                     SlotKind::Class { phase, k },
@@ -143,7 +156,13 @@ impl Schedule {
                     &mut slots,
                 );
             }
-            push(SlotKind::GcC { phase }, gc_rounds, &mut cursor, &mut idx, &mut slots);
+            push(
+                SlotKind::GcC { phase },
+                gc_rounds,
+                &mut cursor,
+                &mut idx,
+                &mut slots,
+            );
         }
         Schedule {
             slots,
@@ -155,9 +174,7 @@ impl Schedule {
     /// The slot active at `step` (the one whose `[start, end)` window
     /// contains it), if any.
     pub fn slot_at(&self, step: u64) -> Option<&Slot> {
-        self.slots
-            .iter()
-            .find(|s| s.start <= step && step < s.end)
+        self.slots.iter().find(|s| s.start <= step && step < s.end)
     }
 }
 
@@ -186,7 +203,12 @@ mod tests {
 
     #[test]
     fn slots_are_contiguous_and_indexed() {
-        let s = Schedule::build(4, 2, |k| 5 * (k as u64 + 2), |k| Some(5 * (2 * k as u64 + 1)));
+        let s = Schedule::build(
+            4,
+            2,
+            |k| 5 * (k as u64 + 2),
+            |k| Some(5 * (2 * k as u64 + 1)),
+        );
         assert_eq!(s.phases, 3);
         // Classify + 3 phases × 5 slots.
         assert_eq!(s.slots.len(), 1 + 3 * 5);

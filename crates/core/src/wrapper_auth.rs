@@ -106,7 +106,7 @@ impl AuthWrapper {
             t,
             AuthGraded::ROUNDS,
             |k| TruncatedDs::rounds(k.min(t)),
-            |k| (2 * k + 1 <= n).then(|| AuthBaWithClassification::rounds(k)),
+            |k| (2 * k < n).then(|| AuthBaWithClassification::rounds(k)),
         )
     }
 
@@ -313,7 +313,12 @@ impl Process for AuthWrapper {
     type Msg = AuthWrapperMsg;
     type Output = Value;
 
-    fn step(&mut self, round: u64, inbox: &[Envelope<AuthWrapperMsg>], out: &mut Outbox<AuthWrapperMsg>) {
+    fn step(
+        &mut self,
+        round: u64,
+        inbox: &[Envelope<AuthWrapperMsg>],
+        out: &mut Outbox<AuthWrapperMsg>,
+    ) {
         if self.returned {
             return;
         }

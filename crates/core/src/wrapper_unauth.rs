@@ -292,7 +292,12 @@ impl Process for UnauthWrapper {
     type Msg = UnauthWrapperMsg;
     type Output = Value;
 
-    fn step(&mut self, round: u64, inbox: &[Envelope<UnauthWrapperMsg>], out: &mut Outbox<UnauthWrapperMsg>) {
+    fn step(
+        &mut self,
+        round: u64,
+        inbox: &[Envelope<UnauthWrapperMsg>],
+        out: &mut Outbox<UnauthWrapperMsg>,
+    ) {
         if self.returned {
             return;
         }
@@ -353,10 +358,7 @@ mod tests {
                 continue;
             }
             let v = Value(next_input.next().expect("enough inputs"));
-            honest.insert(
-                id,
-                UnauthWrapper::new(id, n, t, v, matrix.row(id).clone()),
-            );
+            honest.insert(id, UnauthWrapper::new(id, n, t, v, matrix.row(id).clone()));
         }
         let mut runner = Runner::with_ids(n, honest, SilentAdversary);
         runner.run(max_rounds)

@@ -12,10 +12,11 @@ use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
 fn arbitrary_matrix(n: usize) -> impl Strategy<Value = PredictionMatrix> {
-    proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, n), n)
-        .prop_map(|rows| {
+    proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, n), n).prop_map(
+        |rows| {
             PredictionMatrix::from_rows(rows.into_iter().map(|r| BitVec::from_bools(&r)).collect())
-        })
+        },
+    )
 }
 
 proptest! {

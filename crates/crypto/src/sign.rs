@@ -180,10 +180,7 @@ mod tests {
     fn verification_binds_the_signer() {
         let pki = Pki::new(4, 7);
         let sig = pki.signing_key(1).sign(b"m");
-        let forged = Signature {
-            signer: 2,
-            ..sig
-        };
+        let forged = Signature { signer: 2, ..sig };
         assert!(!pki.verify(b"m", &forged), "re-attributing a tag must fail");
     }
 

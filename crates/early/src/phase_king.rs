@@ -34,8 +34,7 @@
 
 use ba_graded::{UnauthGcMsg, UnauthGraded};
 use ba_sim::{
-    distinct_values_by_sender, forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId,
-    Value,
+    distinct_values_by_sender, forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value,
 };
 use std::sync::Arc;
 
@@ -160,6 +159,7 @@ impl PhaseKing {
         ProcessId((phase % self.n) as u32)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn drive_gc(
         gc: &mut UnauthGraded,
         local: u64,
@@ -192,14 +192,19 @@ impl PhaseKing {
 
     /// Completes a phase's detect consensus; returns `true` if the
     /// process returned.
-    fn complete_phase(&mut self, inbox: &[Envelope<PhaseKingMsg>], out: &mut Outbox<PhaseKingMsg>, phase: usize) -> bool {
+    fn complete_phase(
+        &mut self,
+        inbox: &[Envelope<PhaseKingMsg>],
+        out: &mut Outbox<PhaseKingMsg>,
+        phase: usize,
+    ) -> bool {
         let mut gc = self.detect.take().expect("detect live at completion");
         Self::drive_gc(&mut gc, 2, phase as u16, false, inbox, out, self.me, self.n);
         let graded = gc.output().expect("graded consensus outputs at step 2");
         self.value = graded.value;
-        if self.decision.is_some() {
+        if let Some(decided) = self.decision {
             self.out = Some(PhaseKingOutput {
-                value: self.decision.expect("checked"),
+                value: decided,
                 decision: self.decision,
             });
             return true;
@@ -215,7 +220,12 @@ impl Process for PhaseKing {
     type Msg = PhaseKingMsg;
     type Output = PhaseKingOutput;
 
-    fn step(&mut self, round: u64, inbox: &[Envelope<PhaseKingMsg>], out: &mut Outbox<PhaseKingMsg>) {
+    fn step(
+        &mut self,
+        round: u64,
+        inbox: &[Envelope<PhaseKingMsg>],
+        out: &mut Outbox<PhaseKingMsg>,
+    ) {
         if self.out.is_some() {
             return;
         }
@@ -262,9 +272,7 @@ impl Process for PhaseKing {
                 // Receive the king's value; adopt it below grade 2.
                 let king = self.king_of(phase);
                 let king_values = distinct_values_by_sender(inbox, |m| match m {
-                    PhaseKingMsg::King { phase: p, value } if *p as usize == phase => {
-                        Some(*value)
-                    }
+                    PhaseKingMsg::King { phase: p, value } if *p as usize == phase => Some(*value),
                     _ => None,
                 });
                 if self.main_grade < 2 {
@@ -388,7 +396,10 @@ mod tests {
             .collect();
         let mut runner = Runner::with_ids(n, honest, adv);
         let report = runner.run(60);
-        assert!(report.agreement(), "honest kings p1/p2 must repair the split");
+        assert!(
+            report.agreement(),
+            "honest kings p1/p2 must repair the split"
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ impl TruncatedDs {
     /// # Panics
     ///
     /// Panics unless `2t < n`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         me: ProcessId,
         n: usize,
@@ -119,10 +120,8 @@ impl Process for TruncatedDs {
                 .inner
                 .outputs()
                 .expect("parallel broadcast outputs after k+1 rounds");
-            self.out = Some(
-                plurality_smallest(outputs.iter().flatten().copied())
-                    .unwrap_or(self.input),
-            );
+            self.out =
+                Some(plurality_smallest(outputs.iter().flatten().copied()).unwrap_or(self.input));
         }
     }
 
@@ -184,7 +183,11 @@ mod tests {
         let n = 7;
         let pki = Arc::new(Pki::new(n, 9));
         // f = 2 silent ≤ k = 2.
-        let mut runner = Runner::new(n, system(n, 3, 2, 1, &[0, 1, 0, 1, 0], &pki), SilentAdversary);
+        let mut runner = Runner::new(
+            n,
+            system(n, 3, 2, 1, &[0, 1, 0, 1, 0], &pki),
+            SilentAdversary,
+        );
         let report = runner.run(10);
         assert!(report.agreement());
         // Plurality of delivered honest inputs: three 0s, two 1s.

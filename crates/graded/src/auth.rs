@@ -146,9 +146,7 @@ impl AuthGraded {
                     continue;
                 };
                 match item {
-                    GcastItem::Input { value, sig } => {
-                        instance.recv_input(&self.pki, *value, sig)
-                    }
+                    GcastItem::Input { value, sig } => instance.recv_input(&self.pki, *value, sig),
                     GcastItem::Echo {
                         value,
                         sender_sig,
@@ -279,13 +277,7 @@ mod tests {
     use crate::gradecast::{confirm_bytes, echo_bytes, value_bytes, CommitCert, EchoCert};
     use ba_sim::{AdversaryCtx, FnAdversary, ProcessId, Runner, SilentAdversary};
 
-    fn system(
-        n: usize,
-        t: usize,
-        session: u64,
-        inputs: &[u64],
-        pki: &Arc<Pki>,
-    ) -> Vec<AuthGraded> {
+    fn system(n: usize, t: usize, session: u64, inputs: &[u64], pki: &Arc<Pki>) -> Vec<AuthGraded> {
         inputs
             .iter()
             .enumerate()
@@ -503,7 +495,13 @@ mod tests {
                             ProcessId(4),
                             ProcessId(to),
                             AuthGcMsg {
-                                items: vec![(4, GcastItem::Input { value: va, sig: sig_a })],
+                                items: vec![(
+                                    4,
+                                    GcastItem::Input {
+                                        value: va,
+                                        sig: sig_a,
+                                    },
+                                )],
                             },
                         );
                     }
@@ -512,7 +510,13 @@ mod tests {
                             ProcessId(4),
                             ProcessId(to),
                             AuthGcMsg {
-                                items: vec![(4, GcastItem::Input { value: vb, sig: sig_b })],
+                                items: vec![(
+                                    4,
+                                    GcastItem::Input {
+                                        value: vb,
+                                        sig: sig_b,
+                                    },
+                                )],
                             },
                         );
                     }

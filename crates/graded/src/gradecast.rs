@@ -122,7 +122,10 @@ impl EchoCert {
         if self.sender_sig.signer != cfg.inst {
             return false;
         }
-        if !pki.verify(&value_bytes(cfg.session, cfg.inst, self.value), &self.sender_sig) {
+        if !pki.verify(
+            &value_bytes(cfg.session, cfg.inst, self.value),
+            &self.sender_sig,
+        ) {
             return false;
         }
         let mut signers = BTreeSet::new();
@@ -429,11 +432,7 @@ impl GcastInstance {
         self.certs_at_r4 = self.known_certs.keys().copied().collect();
         let q = self.cfg.quorum();
         let mut items = Vec::new();
-        if let Some((value, sigs)) = self
-            .confirm_sigs
-            .iter()
-            .find(|(_, sigs)| sigs.len() >= q)
-        {
+        if let Some((value, sigs)) = self.confirm_sigs.iter().find(|(_, sigs)| sigs.len() >= q) {
             let cc = CommitCert {
                 value: *value,
                 confirm_sigs: sigs.values().copied().collect(),
@@ -468,8 +467,7 @@ impl GcastInstance {
     /// Final output after all round-5 receives.
     pub fn finish(&self) -> GcastOutput {
         if let Some(cc) = &self.self_commit {
-            let pure =
-                self.known_certs.len() == 1 && self.known_certs.contains_key(&cc.value);
+            let pure = self.known_certs.len() == 1 && self.known_certs.contains_key(&cc.value);
             if pure {
                 return GcastOutput {
                     value: Some(cc.value),
@@ -548,7 +546,10 @@ mod tests {
         let (pki, cfg) = (pki(), cfg());
         let mut cert = valid_cert(&pki, &cfg, Value(7), &[0, 1, 2]);
         cert.echo_sigs[2] = cert.echo_sigs[0];
-        assert!(!cert.verify(&cfg, &pki), "padding with duplicates must fail");
+        assert!(
+            !cert.verify(&cfg, &pki),
+            "padding with duplicates must fail"
+        );
     }
 
     #[test]
@@ -666,7 +667,9 @@ mod tests {
         let mut inst = GcastInstance::new(cfg);
         inst.recv_cert(&pki, &valid_cert(&pki, &cfg, Value(1), &[0, 1, 2]));
         let items = inst.make_confirm(&pki.signing_key(3));
-        assert!(matches!(items.as_slice(), [GcastItem::Confirm { value, .. }] if *value == Value(1)));
+        assert!(
+            matches!(items.as_slice(), [GcastItem::Confirm { value, .. }] if *value == Value(1))
+        );
 
         // Conflicting certificates: report instead of confirming.
         let mut inst2 = GcastInstance::new(cfg);
@@ -683,7 +686,13 @@ mod tests {
         let mut inst = GcastInstance::new(cfg);
         let _ = inst.make_confirm(&pki().signing_key(1));
         let _ = inst.make_spread();
-        assert_eq!(inst.finish(), GcastOutput { value: None, grade: 0 });
+        assert_eq!(
+            inst.finish(),
+            GcastOutput {
+                value: None,
+                grade: 0
+            }
+        );
     }
 
     #[test]

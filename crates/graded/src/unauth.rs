@@ -150,7 +150,7 @@ impl Process for UnauthGraded {
                         let c = tally.count(&v_star);
                         if c >= self.quorum() {
                             Graded::new(v_star, 2)
-                        } else if c >= self.t + 1 {
+                        } else if c > self.t {
                             Graded::new(v_star, 1)
                         } else {
                             Graded::new(self.input, 0)

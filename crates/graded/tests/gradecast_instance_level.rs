@@ -118,7 +118,10 @@ fn grade_1_requires_pure_round_4_view() {
     let _ = pure.make_spread();
     let cc = CommitCert {
         value: v,
-        confirm_sigs: [0u32, 1, 2].iter().map(|&s| confirm_sig(&pki, s, v)).collect(),
+        confirm_sigs: [0u32, 1, 2]
+            .iter()
+            .map(|&s| confirm_sig(&pki, s, v))
+            .collect(),
     };
     pure.recv_commit(&pki, &cc);
     assert_eq!(
@@ -187,7 +190,10 @@ fn short_commit_certificates_rejected() {
     let _ = inst.make_spread();
     let short = CommitCert {
         value: Value(2),
-        confirm_sigs: vec![confirm_sig(&pki, 0, Value(2)), confirm_sig(&pki, 1, Value(2))],
+        confirm_sigs: vec![
+            confirm_sig(&pki, 0, Value(2)),
+            confirm_sig(&pki, 1, Value(2)),
+        ],
     };
     inst.recv_commit(&pki, &short);
     assert_eq!(inst.finish().grade, 0, "2 < n − t = 3 confirm signatures");

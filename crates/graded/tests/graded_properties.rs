@@ -56,12 +56,12 @@ fn unauth_chaos(seed: u64, n: usize) -> impl FnMut(&mut AdversaryCtx<'_, UnauthG
                     .wrapping_mul(0x9e3779b97f4a7c15)
                     .wrapping_add(ctx.round * 1009 + j as u64 * 31 + u64::from(to.0));
                 let v = Value(x % 3);
-                let msg = if x % 2 == 0 {
+                let msg = if x.is_multiple_of(2) {
                     UnauthGcMsg::Vote(v)
                 } else {
                     UnauthGcMsg::Echo(v)
                 };
-                if x % 5 != 0 {
+                if !x.is_multiple_of(5) {
                     ctx.send(from, to, msg);
                 }
             }

@@ -68,6 +68,7 @@
 mod adversary;
 mod compose;
 mod envelope;
+pub mod erased;
 mod id;
 mod multiset;
 mod process;
@@ -79,7 +80,8 @@ pub use adversary::{
 };
 pub use compose::{forward_sub, sub_inbox};
 pub use envelope::{Envelope, Outbox};
+pub use erased::{erase, ErasedSession, MapOutput};
 pub use id::{ProcessId, Value};
 pub use multiset::{count_distinct_senders, distinct_values_by_sender, plurality_smallest, Tally};
 pub use process::Process;
-pub use runner::{RunReport, Runner, RoundTrace};
+pub use runner::{RoundTrace, RunReport, Runner};

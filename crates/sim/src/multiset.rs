@@ -88,10 +88,7 @@ impl<V: Ord + Clone + Hash> Tally<V> {
     /// times, or `None` if the tally is empty.
     pub fn plurality(&self) -> Option<&V> {
         let max = self.counts.values().copied().max()?;
-        self.counts
-            .iter()
-            .find(|(_, &c)| c == max)
-            .map(|(v, _)| v)
+        self.counts.iter().find(|(_, &c)| c == max).map(|(v, _)| v)
     }
 
     /// The smallest value whose count is at least `threshold`, if any.

@@ -225,8 +225,7 @@ where
         if self.report.outputs.len() == self.report.honest_count
             && self.report.last_decision_round.is_none()
         {
-            self.report.last_decision_round =
-                self.report.decision_round.values().copied().max();
+            self.report.last_decision_round = self.report.decision_round.values().copied().max();
         }
 
         self.honest.values().any(|p| !p.halted())
@@ -318,10 +317,7 @@ mod tests {
         let report = runner.run(10);
         // Each of 4 processes broadcasts once: 3 remote copies each.
         assert_eq!(report.honest_messages, 12);
-        assert!(report
-            .messages_per_process
-            .values()
-            .all(|&c| c == 3));
+        assert!(report.messages_per_process.values().all(|&c| c == 3));
     }
 
     #[test]
@@ -406,8 +402,7 @@ mod tests {
                 out: None,
             },
         );
-        let runner: Runner<MinEcho, SilentAdversary> =
-            Runner::with_ids(4, honest, SilentAdversary);
+        let runner: Runner<MinEcho, SilentAdversary> = Runner::with_ids(4, honest, SilentAdversary);
         let corrupted: Vec<u32> = runner.corrupted().iter().map(|p| p.0).collect();
         assert_eq!(corrupted, vec![1, 3]);
     }

@@ -2,8 +2,7 @@
 //! message accounting, delivery ordering, and adversary confinement.
 
 use ba_sim::{
-    AdversaryCtx, Envelope, FnAdversary, Outbox, Process, ProcessId, Runner, SilentAdversary,
-    Value,
+    AdversaryCtx, Envelope, FnAdversary, Outbox, Process, ProcessId, Runner, SilentAdversary, Value,
 };
 use proptest::prelude::*;
 

@@ -176,6 +176,7 @@ impl UnauthBaWithClassification {
     }
 
     /// Drives one sub-protocol step, translating inboxes/outboxes.
+    #[allow(clippy::too_many_arguments)]
     fn drive_gc(
         gc: &mut CoreSetGraded,
         local: u64,
@@ -222,15 +223,20 @@ impl UnauthBaWithClassification {
 
     /// Completes the phase's second graded consensus and applies lines
     /// 10–13. Returns `true` if the process returned (line 10).
-    fn complete_phase(&mut self, phase: usize, inbox: &[Envelope<Alg5Msg>], out: &mut Outbox<Alg5Msg>) -> bool {
+    fn complete_phase(
+        &mut self,
+        phase: usize,
+        inbox: &[Envelope<Alg5Msg>],
+        out: &mut Outbox<Alg5Msg>,
+    ) -> bool {
         let mut gc = self.gc_b.take().expect("gc_b live at phase completion");
         Self::drive_gc(&mut gc, 2, phase as u16, false, inbox, out, self.me, self.n);
         let graded = gc.output().expect("Algorithm 3 outputs at step 2");
         self.value = graded.value;
-        if self.decision.is_some() {
+        if let Some(decided) = self.decision {
             // Line 10: already decided in an earlier phase; return now.
             self.out = Some(Alg5Output {
-                value: self.decision.expect("checked"),
+                value: decided,
                 decision: self.decision,
             });
             return true;
@@ -274,8 +280,7 @@ impl Process for UnauthBaWithClassification {
                     return;
                 }
                 let listen = self.listen_for_phase(phase);
-                let mut gc =
-                    CoreSetGraded::new(self.me, self.n, self.k, self.value, listen);
+                let mut gc = CoreSetGraded::new(self.me, self.n, self.k, self.value, listen);
                 Self::drive_gc(&mut gc, 0, phase as u16, true, inbox, out, self.me, self.n);
                 self.gc_a = Some(gc);
             }
@@ -296,8 +301,7 @@ impl Process for UnauthBaWithClassification {
                 // below (grade needed at off 3).
                 self.gc_a = Some(gc);
                 let listen = self.listen_for_phase(phase);
-                let mut conc =
-                    Conciliation::new(self.me, self.n, self.k, self.value, listen);
+                let mut conc = Conciliation::new(self.me, self.n, self.k, self.value, listen);
                 Self::drive_conc(&mut conc, 0, phase as u16, inbox, out, self.me, self.n);
                 self.conc = Some(conc);
             }
@@ -312,8 +316,7 @@ impl Process for UnauthBaWithClassification {
                     self.value = conciliated;
                 }
                 let listen = self.listen_for_phase(phase);
-                let mut gc =
-                    CoreSetGraded::new(self.me, self.n, self.k, self.value, listen);
+                let mut gc = CoreSetGraded::new(self.me, self.n, self.k, self.value, listen);
                 Self::drive_gc(&mut gc, 0, phase as u16, false, inbox, out, self.me, self.n);
                 self.gc_b = Some(gc);
             }
@@ -451,9 +454,7 @@ mod tests {
         let mut runner = Runner::new(n, system(n, k, &[1; 10], &order), SilentAdversary);
         let report = runner.run(60);
         assert!(report.all_decided());
-        assert!(
-            report.last_decision_round.unwrap() <= UnauthBaWithClassification::rounds(k) + 1
-        );
+        assert!(report.last_decision_round.unwrap() <= UnauthBaWithClassification::rounds(k) + 1);
     }
 
     #[test]
@@ -463,10 +464,7 @@ mod tests {
         let mut runner = Runner::new(n, system(n, 1, &[3; 15], &order), SilentAdversary);
         let report = runner.run(40);
         for (&id, &count) in &report.messages_per_process {
-            assert!(
-                count <= 5 * n as u64,
-                "{id} sent {count} > 5n"
-            );
+            assert!(count <= 5 * n as u64, "{id} sent {count} > 5n");
         }
     }
 

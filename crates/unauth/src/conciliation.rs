@@ -84,10 +84,7 @@ impl Conciliation {
     /// Computes the conciliation value from the received `(v, L)` claims.
     ///
     /// Exposed for white-box tests of the leader-graph construction.
-    pub fn evaluate(
-        &self,
-        claims: &BTreeMap<ProcessId, ConcMsg>,
-    ) -> Value {
+    pub fn evaluate(&self, claims: &BTreeMap<ProcessId, ConcMsg>) -> Value {
         // T_i: senders we heard from. E_i: (y, z) with y ∈ L_z.
         // Predecessor list per z (for reverse reachability).
         let preds: BTreeMap<ProcessId, Vec<ProcessId>> = claims
@@ -120,11 +117,7 @@ impl Conciliation {
                 .iter()
                 .filter_map(|y| {
                     let claim = &claims[y];
-                    claim
-                        .listen
-                        .binary_search(y)
-                        .is_ok()
-                        .then_some(claim.value)
+                    claim.listen.binary_search(y).is_ok().then_some(claim.value)
                 })
                 .min();
             if let Some(m) = m {
@@ -141,13 +134,11 @@ impl Process for Conciliation {
 
     fn step(&mut self, round: u64, inbox: &[Envelope<ConcMsg>], out: &mut Outbox<ConcMsg>) {
         match round {
-            0 => {
-                if self.listen.contains(self.me) {
-                    out.broadcast(ConcMsg {
-                        value: self.input,
-                        listen: self.listen.as_slice().to_vec(),
-                    });
-                }
+            0 if self.listen.contains(self.me) => {
+                out.broadcast(ConcMsg {
+                    value: self.input,
+                    listen: self.listen.as_slice().to_vec(),
+                });
             }
             1 => {
                 // First message per sender wins; listen claims must be

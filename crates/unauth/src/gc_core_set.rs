@@ -78,18 +78,8 @@ impl CoreSetGraded {
     ///
     /// `listen` is this process's `Lᵢ`; the guarantees require
     /// `|Lᵢ| = 3k + 1` for every honest process, which is asserted here.
-    pub fn new(
-        me: ba_sim::ProcessId,
-        n: usize,
-        k: usize,
-        input: Value,
-        listen: ListenSet,
-    ) -> Self {
-        assert_eq!(
-            listen.len(),
-            3 * k + 1,
-            "Algorithm 3 requires |L| = 3k + 1"
-        );
+    pub fn new(me: ba_sim::ProcessId, n: usize, k: usize, input: Value, listen: ListenSet) -> Self {
+        assert_eq!(listen.len(), 3 * k + 1, "Algorithm 3 requires |L| = 3k + 1");
         assert!(listen.iter().all(|p| p.index() < n));
         CoreSetGraded {
             me,
@@ -133,13 +123,16 @@ impl Process for CoreSetGraded {
     type Msg = CoreSetGcMsg;
     type Output = Graded;
 
-    fn step(&mut self, round: u64, inbox: &[Envelope<CoreSetGcMsg>], out: &mut Outbox<CoreSetGcMsg>) {
+    fn step(
+        &mut self,
+        round: u64,
+        inbox: &[Envelope<CoreSetGcMsg>],
+        out: &mut Outbox<CoreSetGcMsg>,
+    ) {
         let k = self.k;
         match round {
-            0 => {
-                if self.listen.contains(self.me) {
-                    out.broadcast(CoreSetGcMsg::Input(self.input));
-                }
+            0 if self.listen.contains(self.me) => {
+                out.broadcast(CoreSetGcMsg::Input(self.input));
             }
             1 => {
                 let tally = self.tally_from_listen(inbox, false);
@@ -154,7 +147,7 @@ impl Process for CoreSetGraded {
                 let tally = self.tally_from_listen(inbox, true);
                 let graded = match self.binding {
                     Some(b) => {
-                        if tally.count(&b) >= 2 * k + 1 {
+                        if tally.count(&b) > 2 * k {
                             Graded::new(b, 2)
                         } else {
                             Graded::new(b, 0)

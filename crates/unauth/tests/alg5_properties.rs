@@ -11,11 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Random per-recipient chaos over Algorithm 5's message space.
-fn alg5_chaos(
-    seed: u64,
-    n: usize,
-    k: usize,
-) -> impl FnMut(&mut AdversaryCtx<'_, Alg5Msg>) {
+fn alg5_chaos(seed: u64, n: usize, k: usize) -> impl FnMut(&mut AdversaryCtx<'_, Alg5Msg>) {
     move |ctx| {
         let faulty: Vec<ProcessId> = ctx.corrupted.iter().copied().collect();
         for (j, from) in faulty.into_iter().enumerate() {
@@ -50,7 +46,7 @@ fn alg5_chaos(
                         inner: Arc::new(CoreSetGcMsg::Binding(v)),
                     },
                 };
-                if x % 7 != 0 {
+                if !x.is_multiple_of(7) {
                     ctx.send(from, to, msg);
                 }
             }

@@ -133,8 +133,10 @@ mod tests {
 
     #[test]
     fn random_style_is_seed_deterministic() {
-        let v1 = ClassifyLiar::new(8, vec![ProcessId(7)], LiarStyle::RandomPerRecipient, 9).vector();
-        let v2 = ClassifyLiar::new(8, vec![ProcessId(7)], LiarStyle::RandomPerRecipient, 9).vector();
+        let v1 =
+            ClassifyLiar::new(8, vec![ProcessId(7)], LiarStyle::RandomPerRecipient, 9).vector();
+        let v2 =
+            ClassifyLiar::new(8, vec![ProcessId(7)], LiarStyle::RandomPerRecipient, 9).vector();
         assert_eq!(v1, v2);
     }
 }

@@ -46,7 +46,7 @@ use std::sync::Arc;
 /// minima (an all-recipients value would just unify everyone on it), and
 /// the silence half keeps quorums starved on the other side.
 fn split_value(to: ProcessId) -> Option<Value> {
-    (to.0 % 2 == 0).then_some(Value(0))
+    to.0.is_multiple_of(2).then_some(Value(0))
 }
 
 /// Locates the slot covering `round` plus the local round within it.
@@ -160,9 +160,8 @@ impl Adversary<UnauthWrapperMsg> for UnauthDisruptor {
         for from in faulty {
             for to in ProcessId::all(self.n) {
                 let msg = match slot.kind {
-                    SlotKind::Classify => {
-                        (local == 0).then(|| UnauthWrapperMsg::Classify(Arc::new(BitVec::ones(self.n))))
-                    }
+                    SlotKind::Classify => (local == 0)
+                        .then(|| UnauthWrapperMsg::Classify(Arc::new(BitVec::ones(self.n)))),
                     SlotKind::GcA { .. } | SlotKind::GcB { .. } | SlotKind::GcC { .. } => {
                         split_value(to).and_then(|v| match local {
                             0 => Some(UnauthWrapperMsg::Gc {
@@ -178,21 +177,24 @@ impl Adversary<UnauthWrapperMsg> for UnauthDisruptor {
                     }
                     SlotKind::Es { k, .. } => {
                         let inner = if EsUnauth::uses_alg5(self.n, self.t, k) {
-                            self.alg5_msg(k, local, to, from).map(|m| EsUnauthMsg::Alg5(Arc::new(m)))
+                            self.alg5_msg(k, local, to, from)
+                                .map(|m| EsUnauthMsg::Alg5(Arc::new(m)))
                         } else {
-                            self.king_msg(local, to).map(|m| EsUnauthMsg::King(Arc::new(m)))
+                            self.king_msg(local, to)
+                                .map(|m| EsUnauthMsg::King(Arc::new(m)))
                         };
                         inner.map(|inner| UnauthWrapperMsg::Es {
                             slot: slot.idx,
                             inner: Arc::new(inner),
                         })
                     }
-                    SlotKind::Class { k, .. } => self
-                        .alg5_msg(k, local, to, from)
-                        .map(|m| UnauthWrapperMsg::Class {
-                            slot: slot.idx,
-                            inner: Arc::new(m),
-                        }),
+                    SlotKind::Class { k, .. } => {
+                        self.alg5_msg(k, local, to, from)
+                            .map(|m| UnauthWrapperMsg::Class {
+                                slot: slot.idx,
+                                inner: Arc::new(m),
+                            })
+                    }
                 };
                 if let Some(msg) = msg {
                     ctx.send(from, to, msg);
@@ -229,19 +231,25 @@ impl AuthDisruptor {
 
     /// The classic withheld-chain attack: a length-`k+1` chain signed by
     /// `k + 1` coalition members, deliverable in the last round.
-    fn withheld_chain(&self, session: u64, starter_idx: usize, k: usize, value: Value) -> Option<MessageChain> {
+    fn withheld_chain(
+        &self,
+        session: u64,
+        starter_idx: usize,
+        k: usize,
+        value: Value,
+    ) -> Option<MessageChain> {
         if self.keys.len() < k + 1 {
             return None;
         }
         let starter = &self.keys[starter_idx];
         let mut chain = MessageChain::start(session, starter.id(), value, starter, None);
-        let mut used = 1;
-        for key in self.keys.iter().filter(|key| key.id() != starter.id()) {
-            if used == k + 1 {
-                break;
-            }
+        for key in self
+            .keys
+            .iter()
+            .filter(|key| key.id() != starter.id())
+            .take(k)
+        {
             chain = chain.extend(session, starter.id(), key, None);
-            used += 1;
         }
         (chain.len() == k + 1).then_some(chain)
     }
@@ -258,7 +266,10 @@ impl Adversary<AuthWrapperMsg> for AuthDisruptor {
             SlotKind::Classify => {
                 if local == 0 {
                     for from in self.faulty.clone() {
-                        ctx.broadcast(from, AuthWrapperMsg::Classify(Arc::new(BitVec::ones(self.n))));
+                        ctx.broadcast(
+                            from,
+                            AuthWrapperMsg::Classify(Arc::new(BitVec::ones(self.n))),
+                        );
                     }
                 }
             }
@@ -289,10 +300,10 @@ impl Adversary<AuthWrapperMsg> for AuthDisruptor {
                 }
             }
             SlotKind::Es { k, .. } => {
-                let k = k.min(usize::MAX); // slot-declared budget
                 // Last-round release: valid length-(k+1) chains to odd
                 // recipients only. Requires k+1 coalition signers, i.e.
-                // exactly the f > k regime the budget cannot yet cover.
+                // exactly the f > k regime the slot-declared budget k
+                // cannot yet cover.
                 if local == k as u64 {
                     // Value 2 tips the odd half's plurality away from the
                     // even half's smallest-tie-break winner.
@@ -341,9 +352,7 @@ impl Adversary<AuthWrapperMsg> for AuthDisruptor {
                             .into_iter()
                             .flatten()
                             .filter_map(|env| match &*env.payload {
-                                AuthWrapperMsg::Class { slot: s, inner }
-                                    if *s == slot.idx =>
-                                {
+                                AuthWrapperMsg::Class { slot: s, inner } if *s == slot.idx => {
                                     match &**inner {
                                         ba_auth::Alg7Msg::CommitteeVote(sig) => Some(*sig),
                                         _ => None,
@@ -365,7 +374,9 @@ impl Adversary<AuthWrapperMsg> for AuthDisruptor {
                     for (i, from) in self.faulty.clone().into_iter().enumerate() {
                         if let Some(cert) = self.harvested_certs[i].clone() {
                             for to in ProcessId::all(self.n) {
-                                let Some(value) = split_value(to) else { continue };
+                                let Some(value) = split_value(to) else {
+                                    continue;
+                                };
                                 ctx.send(
                                     from,
                                     to,
@@ -404,12 +415,7 @@ mod tests {
     #[test]
     fn withheld_chain_needs_enough_signers() {
         let pki = Pki::new(8, 3);
-        let d = AuthDisruptor::new(
-            8,
-            3,
-            vec![ProcessId(5), ProcessId(6), ProcessId(7)],
-            &pki,
-        );
+        let d = AuthDisruptor::new(8, 3, vec![ProcessId(5), ProcessId(6), ProcessId(7)], &pki);
         assert!(d.withheld_chain(9, 0, 2, Value(0)).is_some(), "k+1 = 3 = f");
         assert!(d.withheld_chain(9, 0, 3, Value(0)).is_none(), "k+1 = 4 > f");
         let chain = d.withheld_chain(9, 0, 2, Value(0)).unwrap();

@@ -1,0 +1,454 @@
+//! The `ProtocolDriver` trait: every protocol family behind one API.
+//!
+//! The paper's headline claim — `O(min{B/n + 1, f})` rounds, never
+//! worse than a prediction-free early-stopping baseline — is a
+//! comparison *across protocol families*, so the harness must be able
+//! to run all of them through one code path. A [`ProtocolDriver`] knows
+//! how to turn a [`SessionSpec`] (system size, fault set, prediction
+//! matrix, inputs, adversary, seed) into a type-erased
+//! [`ErasedSession`](ba_sim::ErasedSession); the generic engine in
+//! [`crate::experiment`] then runs it and measures, identically for
+//! every family.
+//!
+//! Four drivers ship today, one per [`crate::experiment::Pipeline`]
+//! variant:
+//!
+//! | driver | protocol | resilience | predictions |
+//! |---|---|---|---|
+//! | [`UnauthWrapperDriver`] | Algorithm 1 over §7 (Theorem 11) | `3t < n` | yes |
+//! | [`AuthWrapperDriver`] | Algorithm 1 over §8 (Theorem 12) | `2t < n` | yes |
+//! | [`PhaseKingDriver`] | early-stopping phase-king baseline | `3t < n` | ignored |
+//! | [`TruncatedDolevStrongDriver`] | full Dolev–Strong baseline | `2t < n` | ignored |
+//!
+//! This is the extension seam for the related-work pipelines
+//! (communication-efficient and resilient prediction variants): a new
+//! protocol plugs into every bench, example, and sweep by implementing
+//! this trait and (optionally) gaining a `Pipeline` variant.
+//!
+//! ## Adversary mapping for prediction-free baselines
+//!
+//! [`AdversaryKind`] names behaviours of the *wrapper* execution model.
+//! The baselines have no classification round to lie in and no schedule
+//! to disrupt, so the kinds degrade to the strongest protocol-agnostic
+//! behaviour available: `ClassifyLiar` becomes silence (its lies have
+//! no audience) and `Disruptor` becomes a 1-round replay coalition —
+//! both documented deviations, chosen over panicking so that sweeps can
+//! hold the adversary column fixed across pipelines.
+
+use crate::adversaries::ClassifyLiar;
+use crate::experiment::{AdversaryKind, InputPattern};
+use ba_core::{
+    AuthWrapper, AuthWrapperMsg, BitVec, MisclassificationReport, PredictionMatrix, UnauthWrapper,
+    UnauthWrapperMsg,
+};
+use ba_crypto::Pki;
+use ba_early::{PhaseKing, PhaseKingOutput, TruncatedDs};
+use ba_sim::{
+    erase, Adversary, ErasedSession, MapOutput, ProcessId, ReplayAdversary, SilentAdversary, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Everything a driver needs to build one session. Produced by the
+/// experiment engine from an
+/// [`ExperimentConfig`](crate::experiment::ExperimentConfig); shared by
+/// all drivers so that the same workload is presented to every
+/// protocol family.
+#[derive(Clone, Debug)]
+pub struct SessionSpec<'a> {
+    /// System size.
+    pub n: usize,
+    /// Fault tolerance bound.
+    pub t: usize,
+    /// The corrupted identifiers (`|faulty| = f ≤ t`).
+    pub faulty: &'a BTreeSet<ProcessId>,
+    /// Prediction matrix (budgeted wrong bits already injected).
+    /// Prediction-free drivers ignore it.
+    pub matrix: &'a PredictionMatrix,
+    /// Honest input pattern.
+    pub inputs: InputPattern,
+    /// Byzantine behaviour.
+    pub adversary: AdversaryKind,
+    /// Seed for PKI and adversary randomness.
+    pub seed: u64,
+}
+
+impl SessionSpec<'_> {
+    /// The input of the honest process in enumeration slot `slot`.
+    pub fn input_for(&self, slot: usize) -> Value {
+        match self.inputs {
+            InputPattern::Unanimous(v) => Value(v),
+            // Split inputs start at 1: the worst-case disruptor injects
+            // strictly smaller values (0) selectively to split the
+            // minimum-based conciliation (Algorithm 4 line 4).
+            InputPattern::Split => Value(1 + (slot % 2) as u64),
+            InputPattern::Distinct => Value(slot as u64 + 100),
+        }
+    }
+
+    /// Honest identifiers with their enumeration slots, in id order.
+    pub fn honest_slots(&self) -> impl Iterator<Item = (usize, ProcessId)> + '_ {
+        ProcessId::all(self.n)
+            .filter(|p| !self.faulty.contains(p))
+            .enumerate()
+    }
+
+    /// The corrupted identifiers as a vector (adversary constructors).
+    pub fn faulty_vec(&self) -> Vec<ProcessId> {
+        self.faulty.iter().copied().collect()
+    }
+}
+
+/// A protocol family runnable by the generic experiment engine.
+///
+/// Implementations build their honest-process map and adversary from a
+/// shared [`SessionSpec`] and erase the message type behind
+/// [`ErasedSession`], so one engine can run, measure, and compare any
+/// protocol.
+pub trait ProtocolDriver {
+    /// Stable display name (bench tables, JSON output).
+    fn name(&self) -> &'static str;
+
+    /// The largest fault bound `t` this protocol tolerates at size `n`
+    /// (e.g. `⌊(n−1)/3⌋` for unauthenticated quorum protocols).
+    fn max_faults(&self, n: usize) -> usize;
+
+    /// Whether the protocol consumes the prediction matrix. Drivers
+    /// returning `false` are the prediction-free baselines; the engine
+    /// skips their (vacuous) misclassification measurement.
+    fn uses_predictions(&self) -> bool;
+
+    /// Round budget sufficient for termination at `(n, t)`.
+    fn max_rounds(&self, n: usize, t: usize) -> u64;
+
+    /// Builds the full session — honest processes and adversary — for
+    /// one experiment.
+    fn build(&self, spec: &SessionSpec<'_>) -> Box<dyn ErasedSession>;
+}
+
+/// Converts a classification bit vector into the erased probe format.
+fn bits_of(c: &BitVec) -> Vec<bool> {
+    (0..c.len()).map(|i| c.get(i)).collect()
+}
+
+/// Computes the realized misclassification count `k_A` from erased
+/// probes — the one measurement path shared by every
+/// prediction-consuming driver (previously copy-pasted per pipeline).
+pub fn k_a_from_probes(
+    n: usize,
+    faulty: &BTreeSet<ProcessId>,
+    probes: &[(ProcessId, Vec<bool>)],
+) -> usize {
+    let owned: Vec<(ProcessId, BitVec)> = probes
+        .iter()
+        .map(|(id, bits)| (*id, BitVec::from_bools(bits)))
+        .collect();
+    let refs: Vec<(ProcessId, &BitVec)> = owned.iter().map(|(id, c)| (*id, c)).collect();
+    MisclassificationReport::compute(n, faulty, &refs).k_a()
+}
+
+/// Theorem 11 pipeline: Algorithm 1 over the unauthenticated
+/// subprotocols (`3t < n`, no signatures).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnauthWrapperDriver;
+
+impl ProtocolDriver for UnauthWrapperDriver {
+    fn name(&self) -> &'static str {
+        "unauth-wrapper"
+    }
+
+    fn max_faults(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 3
+    }
+
+    fn uses_predictions(&self) -> bool {
+        true
+    }
+
+    fn max_rounds(&self, n: usize, t: usize) -> u64 {
+        UnauthWrapper::schedule(n, t).total_steps + 4
+    }
+
+    fn build(&self, spec: &SessionSpec<'_>) -> Box<dyn ErasedSession> {
+        let mut honest: BTreeMap<ProcessId, UnauthWrapper> = BTreeMap::new();
+        for (slot, id) in spec.honest_slots() {
+            honest.insert(
+                id,
+                UnauthWrapper::new(
+                    id,
+                    spec.n,
+                    spec.t,
+                    spec.input_for(slot),
+                    spec.matrix.row(id).clone(),
+                ),
+            );
+        }
+        let adversary: Box<dyn Adversary<UnauthWrapperMsg>> = match spec.adversary {
+            AdversaryKind::Silent => Box::new(SilentAdversary),
+            AdversaryKind::ClassifyLiar(style) => {
+                Box::new(ClassifyLiar::new(spec.n, spec.faulty_vec(), style, spec.seed).unauth())
+            }
+            AdversaryKind::Replay => Box::new(ReplayAdversary::new(1)),
+            AdversaryKind::Disruptor => Box::new(crate::disruptor::UnauthDisruptor::new(
+                spec.n,
+                spec.t,
+                spec.faulty_vec(),
+            )),
+        };
+        erase(spec.n, honest, adversary, |w: &UnauthWrapper| {
+            w.classification().map(bits_of)
+        })
+    }
+}
+
+/// Theorem 12 pipeline: Algorithm 1 over the authenticated
+/// subprotocols (`2t < n`, signatures).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AuthWrapperDriver;
+
+impl ProtocolDriver for AuthWrapperDriver {
+    fn name(&self) -> &'static str {
+        "auth-wrapper"
+    }
+
+    fn max_faults(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 2
+    }
+
+    fn uses_predictions(&self) -> bool {
+        true
+    }
+
+    fn max_rounds(&self, n: usize, t: usize) -> u64 {
+        AuthWrapper::schedule(n, t).total_steps + 4
+    }
+
+    fn build(&self, spec: &SessionSpec<'_>) -> Box<dyn ErasedSession> {
+        let pki = Arc::new(Pki::new(spec.n, spec.seed ^ 0x91c1));
+        let mut honest: BTreeMap<ProcessId, AuthWrapper> = BTreeMap::new();
+        for (slot, id) in spec.honest_slots() {
+            honest.insert(
+                id,
+                AuthWrapper::new(
+                    id,
+                    spec.n,
+                    spec.t,
+                    spec.input_for(slot),
+                    spec.matrix.row(id).clone(),
+                    Arc::clone(&pki),
+                    pki.signing_key(id.0),
+                ),
+            );
+        }
+        let adversary: Box<dyn Adversary<AuthWrapperMsg>> = match spec.adversary {
+            AdversaryKind::Silent => Box::new(SilentAdversary),
+            AdversaryKind::ClassifyLiar(style) => {
+                Box::new(ClassifyLiar::new(spec.n, spec.faulty_vec(), style, spec.seed).auth())
+            }
+            AdversaryKind::Replay => Box::new(ReplayAdversary::new(1)),
+            AdversaryKind::Disruptor => Box::new(crate::disruptor::AuthDisruptor::new(
+                spec.n,
+                spec.t,
+                spec.faulty_vec(),
+                &pki,
+            )),
+        };
+        erase(spec.n, honest, adversary, |w: &AuthWrapper| {
+            w.classification().map(bits_of)
+        })
+    }
+}
+
+/// Maps an [`AdversaryKind`] onto a message type the prediction-free
+/// baselines understand (see the module docs for the degradation
+/// rules).
+fn baseline_adversary<M: Clone + 'static>(kind: AdversaryKind) -> Box<dyn Adversary<M>> {
+    match kind {
+        AdversaryKind::Silent | AdversaryKind::ClassifyLiar(_) => Box::new(SilentAdversary),
+        AdversaryKind::Replay | AdversaryKind::Disruptor => Box::new(ReplayAdversary::new(1)),
+    }
+}
+
+/// Prediction-free unauthenticated baseline: early-stopping phase-king
+/// with the full `t + 2` phase budget (`3t < n`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseKingDriver;
+
+impl ProtocolDriver for PhaseKingDriver {
+    fn name(&self) -> &'static str {
+        "phase-king"
+    }
+
+    fn max_faults(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 3
+    }
+
+    fn uses_predictions(&self) -> bool {
+        false
+    }
+
+    fn max_rounds(&self, _n: usize, t: usize) -> u64 {
+        PhaseKing::rounds(PhaseKing::phases_for(t)) + 2
+    }
+
+    fn build(&self, spec: &SessionSpec<'_>) -> Box<dyn ErasedSession> {
+        type P = MapOutput<PhaseKing, fn(&PhaseKingOutput) -> Value>;
+        fn decided(o: &PhaseKingOutput) -> Value {
+            o.decision.unwrap_or(o.value)
+        }
+        let mut honest: BTreeMap<ProcessId, P> = BTreeMap::new();
+        for (slot, id) in spec.honest_slots() {
+            honest.insert(
+                id,
+                MapOutput::new(
+                    PhaseKing::full(id, spec.n, spec.t, spec.input_for(slot)),
+                    decided as fn(&PhaseKingOutput) -> Value,
+                ),
+            );
+        }
+        let adversary = baseline_adversary(spec.adversary);
+        erase(spec.n, honest, adversary, |_: &P| None)
+    }
+}
+
+/// Prediction-free authenticated baseline: full Dolev–Strong
+/// (`k = t`, `2t < n`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TruncatedDolevStrongDriver;
+
+impl ProtocolDriver for TruncatedDolevStrongDriver {
+    fn name(&self) -> &'static str {
+        "truncated-dolev-strong"
+    }
+
+    fn max_faults(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 2
+    }
+
+    fn uses_predictions(&self) -> bool {
+        false
+    }
+
+    fn max_rounds(&self, _n: usize, t: usize) -> u64 {
+        TruncatedDs::rounds(t) + 2
+    }
+
+    fn build(&self, spec: &SessionSpec<'_>) -> Box<dyn ErasedSession> {
+        let pki = Arc::new(Pki::new(spec.n, spec.seed ^ 0x91c1));
+        let session = spec.seed ^ 0x7d5;
+        let mut honest: BTreeMap<ProcessId, TruncatedDs> = BTreeMap::new();
+        for (slot, id) in spec.honest_slots() {
+            honest.insert(
+                id,
+                TruncatedDs::full(
+                    id,
+                    spec.n,
+                    spec.t,
+                    session,
+                    spec.input_for(slot),
+                    Arc::clone(&pki),
+                    pki.signing_key(id.0),
+                ),
+            );
+        }
+        let adversary = baseline_adversary(spec.adversary);
+        erase(spec.n, honest, adversary, |_: &TruncatedDs| None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn spec_parts(n: usize, f: usize) -> (BTreeSet<ProcessId>, PredictionMatrix) {
+        let faulty = generators::faults(n, f, generators::FaultIds::Spread);
+        let matrix = PredictionMatrix::perfect(n, &faulty);
+        (faulty, matrix)
+    }
+
+    fn spec<'a>(
+        n: usize,
+        t: usize,
+        faulty: &'a BTreeSet<ProcessId>,
+        matrix: &'a PredictionMatrix,
+    ) -> SessionSpec<'a> {
+        SessionSpec {
+            n,
+            t,
+            faulty,
+            matrix,
+            inputs: InputPattern::Unanimous(6),
+            adversary: AdversaryKind::Silent,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn every_driver_reaches_unanimous_agreement() {
+        let drivers: [&dyn ProtocolDriver; 4] = [
+            &UnauthWrapperDriver,
+            &AuthWrapperDriver,
+            &PhaseKingDriver,
+            &TruncatedDolevStrongDriver,
+        ];
+        let n = 10;
+        let (faulty, matrix) = spec_parts(n, 2);
+        for d in drivers {
+            let t = d.max_faults(n).min(3);
+            let s = spec(n, t, &faulty, &matrix);
+            let mut session = d.build(&s);
+            let report = session.run(d.max_rounds(n, t));
+            assert!(report.agreement(), "{} broke agreement", d.name());
+            assert_eq!(
+                report.decision(),
+                Some(&Value(6)),
+                "{} broke unanimity",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn resilience_bounds_match_protocol_families() {
+        assert_eq!(UnauthWrapperDriver.max_faults(10), 3);
+        assert_eq!(PhaseKingDriver.max_faults(10), 3);
+        assert_eq!(AuthWrapperDriver.max_faults(10), 4);
+        assert_eq!(TruncatedDolevStrongDriver.max_faults(10), 4);
+        assert_eq!(UnauthWrapperDriver.max_faults(0), 0);
+    }
+
+    #[test]
+    fn wrapper_probes_expose_classifications_baselines_do_not() {
+        let n = 10;
+        let (faulty, matrix) = spec_parts(n, 2);
+        let s = spec(n, 3, &faulty, &matrix);
+
+        let mut wrapper = UnauthWrapperDriver.build(&s);
+        let _ = wrapper.run(UnauthWrapperDriver.max_rounds(n, 3));
+        let probes = wrapper.probes();
+        assert_eq!(probes.len(), n - 2, "every honest wrapper classifies");
+        assert_eq!(k_a_from_probes(n, &faulty, &probes), 0, "perfect matrix");
+
+        let mut baseline = PhaseKingDriver.build(&s);
+        let _ = baseline.run(PhaseKingDriver.max_rounds(n, 3));
+        assert!(
+            baseline.probes().is_empty(),
+            "baselines have no classification"
+        );
+    }
+
+    #[test]
+    fn k_a_helper_counts_misclassified_processes_once() {
+        let n = 4;
+        let faulty: BTreeSet<ProcessId> = [ProcessId(3)].into_iter().collect();
+        // Two honest processes misclassify the same faulty id (counted
+        // once) and one honest process accuses an honest id.
+        let probes = vec![
+            (ProcessId(0), vec![true, true, true, true]),
+            (ProcessId(1), vec![true, false, true, true]),
+            (ProcessId(2), vec![true, true, true, false]),
+        ];
+        assert_eq!(k_a_from_probes(n, &faulty, &probes), 2);
+    }
+}

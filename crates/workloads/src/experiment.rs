@@ -7,27 +7,72 @@
 //! honest message count, whether Agreement/Validity held, the actual `B`,
 //! and the realized misclassification count `k_A`. Everything is
 //! deterministic given the config.
+//!
+//! Execution is pipeline-agnostic: the config picks a [`Pipeline`], the
+//! pipeline names a [`ProtocolDriver`], and one generic
+//! [`ExperimentConfig::run_with`] path builds, runs, and measures the
+//! type-erased session — the same engine for the paper's wrappers, the
+//! prediction-free baselines, and any future driver.
 
-use crate::adversaries::{ClassifyLiar, LiarStyle};
+use crate::driver::{
+    k_a_from_probes, AuthWrapperDriver, PhaseKingDriver, ProtocolDriver, SessionSpec,
+    TruncatedDolevStrongDriver, UnauthWrapperDriver,
+};
 use crate::generators::{self, ErrorPlacement, FaultIds};
-use ba_core::{
-    AuthWrapper, AuthWrapperMsg, MisclassificationReport, PredictionMatrix, UnauthWrapper,
-    UnauthWrapperMsg,
-};
-use ba_crypto::Pki;
-use ba_sim::{
-    Adversary, ProcessId, ReplayAdversary, RunReport, Runner, SilentAdversary, Value,
-};
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use crate::json::{JsonObject, ToJson};
+use ba_sim::{RunReport, Value};
 
-/// Which of the paper's two pipelines to run.
+pub use crate::adversaries::LiarStyle;
+
+/// Which protocol family to run. The first two are the paper's
+/// prediction-consuming pipelines; the last two are the prediction-free
+/// early-stopping baselines they must never lose to (the `min{·, f}`
+/// term of the headline bound).
+///
+/// Marked `#[non_exhaustive]`: this is the planned extension seam
+/// (communication-efficient and resilient prediction variants), so
+/// downstream matches must carry a wildcard arm and new variants are
+/// not breaking changes. Prefer branching on driver capabilities
+/// ([`ProtocolDriver::uses_predictions`], [`ProtocolDriver::max_faults`])
+/// over matching variants.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Pipeline {
     /// Theorem 11: `t < n/3`, no signatures.
     Unauth,
     /// Theorem 12: `t < n/2`, signatures.
     Auth,
+    /// Prediction-free unauthenticated baseline: early-stopping
+    /// phase-king with the full `t + 2` phase budget (`t < n/3`).
+    PhaseKing,
+    /// Prediction-free authenticated baseline: full Dolev–Strong
+    /// (`k = t`, `t < n/2`).
+    TruncatedDolevStrong,
+}
+
+impl Pipeline {
+    /// Every selectable pipeline, in display order.
+    pub const ALL: [Pipeline; 4] = [
+        Pipeline::Unauth,
+        Pipeline::Auth,
+        Pipeline::PhaseKing,
+        Pipeline::TruncatedDolevStrong,
+    ];
+
+    /// The driver executing this pipeline.
+    pub fn driver(self) -> &'static dyn ProtocolDriver {
+        match self {
+            Pipeline::Unauth => &UnauthWrapperDriver,
+            Pipeline::Auth => &AuthWrapperDriver,
+            Pipeline::PhaseKing => &PhaseKingDriver,
+            Pipeline::TruncatedDolevStrong => &TruncatedDolevStrongDriver,
+        }
+    }
+
+    /// Stable display name (delegates to the driver).
+    pub fn name(self) -> &'static str {
+        self.driver().name()
+    }
 }
 
 /// Honest input patterns.
@@ -55,7 +100,9 @@ pub enum AdversaryKind {
     /// ([`crate::disruptor`]): shields itself during classification,
     /// equivocates every quorum protocol, withholds chains, splits
     /// plurality reports. This is the adversary the bench sweeps use to
-    /// realize the paper's `min{B/n + 1, f}` round curve.
+    /// realize the paper's `min{B/n + 1, f}` round curve. On the
+    /// prediction-free baselines it degrades to a replay coalition (see
+    /// [`crate::driver`] module docs).
     Disruptor,
 }
 
@@ -63,6 +110,10 @@ pub enum AdversaryKind {
 pub type FaultPlacement = FaultIds;
 
 /// A complete experiment description.
+///
+/// Construct via [`ExperimentConfig::new`] for the classic defaults,
+/// or fluently via [`ExperimentConfig::builder`]; tweak copies with the
+/// `with_*` combinators instead of mutating fields in place.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
     /// System size.
@@ -105,155 +156,114 @@ impl ExperimentConfig {
         }
     }
 
-    fn input_for(&self, slot: usize) -> Value {
-        match self.inputs {
-            InputPattern::Unanimous(v) => Value(v),
-            // Split inputs start at 1: the worst-case disruptor injects
-            // strictly smaller values (0) selectively to split the
-            // minimum-based conciliation (Algorithm 4 line 4).
-            InputPattern::Split => Value(1 + (slot % 2) as u64),
-            InputPattern::Distinct => Value(slot as u64 + 100),
-        }
+    /// Starts a fluent builder.
+    ///
+    /// ```
+    /// use ba_workloads::{AdversaryKind, ErrorPlacement, ExperimentConfig, FaultPlacement, Pipeline};
+    ///
+    /// let cfg = ExperimentConfig::builder()
+    ///     .n(32)
+    ///     .faults(7, FaultPlacement::Spread)
+    ///     .budget(12, ErrorPlacement::Concentrated)
+    ///     .pipeline(Pipeline::Unauth)
+    ///     .adversary(AdversaryKind::Disruptor)
+    ///     .build();
+    /// assert_eq!(cfg.t, 10, "t defaults to the pipeline's resilience bound");
+    /// assert!(cfg.run().agreement);
+    /// ```
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
     }
 
-    /// Executes the experiment.
+    /// Returns a copy running a different pipeline.
+    pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with different honest inputs.
+    pub fn with_inputs(mut self, inputs: InputPattern) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Returns a copy with a different adversary.
+    pub fn with_adversary(mut self, adversary: AdversaryKind) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Returns a copy with a different wrong-bit placement.
+    pub fn with_placement(mut self, placement: ErrorPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Returns a copy with a different fault-identifier placement.
+    pub fn with_fault_placement(mut self, fault_placement: FaultPlacement) -> Self {
+        self.fault_placement = fault_placement;
+        self
+    }
+
+    /// Returns a copy with a different wrong-bit budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Executes the experiment through the configured pipeline's driver.
     pub fn run(&self) -> ExperimentOutcome {
+        self.run_with(self.pipeline.driver())
+    }
+
+    /// Executes the experiment through an explicit driver — the single
+    /// generic setup/measure path shared by every protocol family
+    /// (including drivers outside this crate).
+    pub fn run_with<D: ProtocolDriver + ?Sized>(&self, driver: &D) -> ExperimentOutcome {
         assert!(self.f <= self.t, "f ≤ t");
+        assert!(
+            self.t <= driver.max_faults(self.n),
+            "{} tolerates at most t = {} at n = {} (got t = {})",
+            driver.name(),
+            driver.max_faults(self.n),
+            self.n,
+            self.t
+        );
         let faulty = generators::faults(self.n, self.f, self.fault_placement);
-        let matrix =
-            generators::predictions_with_budget(self.n, &faulty, self.budget, self.placement, self.seed);
+        let matrix = generators::predictions_with_budget(
+            self.n,
+            &faulty,
+            self.budget,
+            self.placement,
+            self.seed,
+        );
         let b_actual = matrix.total_errors(&faulty);
-        match self.pipeline {
-            Pipeline::Unauth => self.run_unauth(&faulty, &matrix, b_actual),
-            Pipeline::Auth => self.run_auth(&faulty, &matrix, b_actual),
-        }
-    }
-
-    fn max_rounds(&self) -> u64 {
-        let schedule_len = match self.pipeline {
-            Pipeline::Unauth => UnauthWrapper::schedule(self.n, self.t).total_steps,
-            Pipeline::Auth => AuthWrapper::schedule(self.n, self.t).total_steps,
+        let spec = SessionSpec {
+            n: self.n,
+            t: self.t,
+            faulty: &faulty,
+            matrix: &matrix,
+            inputs: self.inputs,
+            adversary: self.adversary,
+            seed: self.seed,
         };
-        schedule_len + 4
-    }
-
-    fn run_unauth(
-        &self,
-        faulty: &BTreeSet<ProcessId>,
-        matrix: &PredictionMatrix,
-        b_actual: usize,
-    ) -> ExperimentOutcome {
-        let mut honest: BTreeMap<ProcessId, UnauthWrapper> = BTreeMap::new();
-        for (slot, id) in ProcessId::all(self.n).filter(|p| !faulty.contains(p)).enumerate() {
-            honest.insert(
-                id,
-                UnauthWrapper::new(id, self.n, self.t, self.input_for(slot), matrix.row(id).clone()),
-            );
-        }
-        let adversary = self.unauth_adversary(faulty);
-        let mut runner = Runner::with_ids(self.n, honest, adversary);
-        let report = runner.run(self.max_rounds());
-        let k_a = {
-            let refs: Vec<(ProcessId, &ba_core::BitVec)> = ProcessId::all(self.n)
-                .filter(|p| !faulty.contains(p))
-                .filter_map(|id| {
-                    runner
-                        .process(id)
-                        .and_then(|w| w.classification())
-                        .map(|c| (id, c))
-                })
-                .collect();
-            MisclassificationReport::compute(self.n, faulty, &refs).k_a()
+        let mut session = driver.build(&spec);
+        let report = session.run(driver.max_rounds(self.n, self.t));
+        let k_a = if driver.uses_predictions() {
+            k_a_from_probes(self.n, &faulty, &session.probes())
+        } else {
+            0
         };
         self.outcome(report, b_actual, k_a)
     }
 
-    fn run_auth(
-        &self,
-        faulty: &BTreeSet<ProcessId>,
-        matrix: &PredictionMatrix,
-        b_actual: usize,
-    ) -> ExperimentOutcome {
-        let pki = Arc::new(Pki::new(self.n, self.seed ^ 0x91c1));
-        let mut honest: BTreeMap<ProcessId, AuthWrapper> = BTreeMap::new();
-        for (slot, id) in ProcessId::all(self.n).filter(|p| !faulty.contains(p)).enumerate() {
-            honest.insert(
-                id,
-                AuthWrapper::new(
-                    id,
-                    self.n,
-                    self.t,
-                    self.input_for(slot),
-                    matrix.row(id).clone(),
-                    Arc::clone(&pki),
-                    pki.signing_key(id.0),
-                ),
-            );
-        }
-        let adversary = self.auth_adversary(faulty, &pki);
-        let mut runner = Runner::with_ids(self.n, honest, adversary);
-        let report = runner.run(self.max_rounds());
-        let k_a = {
-            let refs: Vec<(ProcessId, &ba_core::BitVec)> = ProcessId::all(self.n)
-                .filter(|p| !faulty.contains(p))
-                .filter_map(|id| {
-                    runner
-                        .process(id)
-                        .and_then(|w| w.classification())
-                        .map(|c| (id, c))
-                })
-                .collect();
-            MisclassificationReport::compute(self.n, faulty, &refs).k_a()
-        };
-        self.outcome(report, b_actual, k_a)
-    }
-
-    fn unauth_adversary(
-        &self,
-        faulty: &BTreeSet<ProcessId>,
-    ) -> Box<dyn Adversary<UnauthWrapperMsg>> {
-        match self.adversary {
-            AdversaryKind::Silent => Box::new(SilentAdversary),
-            AdversaryKind::ClassifyLiar(style) => Box::new(
-                ClassifyLiar::new(self.n, faulty.iter().copied().collect(), style, self.seed)
-                    .unauth(),
-            ),
-            AdversaryKind::Replay => Box::new(ReplayAdversary::new(1)),
-            AdversaryKind::Disruptor => Box::new(crate::disruptor::UnauthDisruptor::new(
-                self.n,
-                self.t,
-                faulty.iter().copied().collect(),
-            )),
-        }
-    }
-
-    fn auth_adversary(
-        &self,
-        faulty: &BTreeSet<ProcessId>,
-        pki: &Pki,
-    ) -> Box<dyn Adversary<AuthWrapperMsg>> {
-        match self.adversary {
-            AdversaryKind::Silent => Box::new(SilentAdversary),
-            AdversaryKind::ClassifyLiar(style) => Box::new(
-                ClassifyLiar::new(self.n, faulty.iter().copied().collect(), style, self.seed)
-                    .auth(),
-            ),
-            AdversaryKind::Replay => Box::new(ReplayAdversary::new(1)),
-            AdversaryKind::Disruptor => Box::new(crate::disruptor::AuthDisruptor::new(
-                self.n,
-                self.t,
-                faulty.iter().copied().collect(),
-                pki,
-            )),
-        }
-    }
-
-    fn outcome(
-        &self,
-        report: RunReport<Value>,
-        b_actual: usize,
-        k_a: usize,
-    ) -> ExperimentOutcome {
+    fn outcome(&self, report: RunReport<Value>, b_actual: usize, k_a: usize) -> ExperimentOutcome {
         let validity_ok = match self.inputs {
             InputPattern::Unanimous(v) => report.decision() == Some(&Value(v)),
             _ => report.agreement(),
@@ -270,8 +280,137 @@ impl ExperimentConfig {
     }
 }
 
+/// Fluent constructor for [`ExperimentConfig`]; see
+/// [`ExperimentConfig::builder`].
+///
+/// Unset fields default to: `n = 16`, `t` = the pipeline's resilience
+/// bound at `n`, no faults, zero budget (uniform placement), split
+/// inputs, silent adversary, unauthenticated pipeline, seed 0.
+#[derive(Clone, Debug)]
+pub struct ExperimentBuilder {
+    n: usize,
+    t: Option<usize>,
+    f: usize,
+    fault_placement: FaultPlacement,
+    budget: usize,
+    placement: ErrorPlacement,
+    pipeline: Pipeline,
+    inputs: InputPattern,
+    adversary: AdversaryKind,
+    seed: u64,
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> Self {
+        ExperimentBuilder {
+            n: 16,
+            t: None,
+            f: 0,
+            fault_placement: FaultIds::Spread,
+            budget: 0,
+            placement: ErrorPlacement::Uniform,
+            pipeline: Pipeline::Unauth,
+            inputs: InputPattern::Split,
+            adversary: AdversaryKind::Silent,
+            seed: 0,
+        }
+    }
+}
+
+impl ExperimentBuilder {
+    /// System size.
+    pub fn n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Explicit fault-tolerance bound (otherwise the pipeline's maximum
+    /// at `n`).
+    pub fn t(mut self, t: usize) -> Self {
+        self.t = Some(t);
+        self
+    }
+
+    /// Actual fault count and identifier placement.
+    pub fn faults(mut self, f: usize, placement: FaultPlacement) -> Self {
+        self.f = f;
+        self.fault_placement = placement;
+        self
+    }
+
+    /// Wrong-bit budget and placement.
+    pub fn budget(mut self, budget: usize, placement: ErrorPlacement) -> Self {
+        self.budget = budget;
+        self.placement = placement;
+        self
+    }
+
+    /// Pipeline under test.
+    pub fn pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Honest input pattern.
+    pub fn inputs(mut self, inputs: InputPattern) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Byzantine behaviour.
+    pub fn adversary(mut self, adversary: AdversaryKind) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (explicit or derived) parameters violate `f ≤ t`
+    /// or the pipeline's resilience bound — the same contracts
+    /// [`ExperimentConfig::run`] enforces, surfaced at build time.
+    pub fn build(self) -> ExperimentConfig {
+        let t = self
+            .t
+            .unwrap_or_else(|| self.pipeline.driver().max_faults(self.n));
+        assert!(
+            self.f <= t,
+            "f = {} exceeds t = {} (pipeline {})",
+            self.f,
+            t,
+            self.pipeline.name()
+        );
+        assert!(
+            t <= self.pipeline.driver().max_faults(self.n),
+            "{} tolerates at most t = {} at n = {} (got t = {t})",
+            self.pipeline.name(),
+            self.pipeline.driver().max_faults(self.n),
+            self.n,
+        );
+        ExperimentConfig {
+            n: self.n,
+            t,
+            f: self.f,
+            fault_placement: self.fault_placement,
+            budget: self.budget,
+            placement: self.placement,
+            pipeline: self.pipeline,
+            inputs: self.inputs,
+            adversary: self.adversary,
+            seed: self.seed,
+        }
+    }
+}
+
 /// Measured results of one experiment.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExperimentOutcome {
     /// Round at which the last honest process decided (`None` = some
     /// process never decided — a liveness bug).
@@ -287,8 +426,23 @@ pub struct ExperimentOutcome {
     pub validity_ok: bool,
     /// Wrong prediction bits actually injected.
     pub b_actual: usize,
-    /// Misclassified processes after Algorithm 2 (`k_A`).
+    /// Misclassified processes after Algorithm 2 (`k_A`); zero for
+    /// prediction-free pipelines.
     pub k_a: usize,
+}
+
+impl ToJson for ExperimentOutcome {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_opt_u64("rounds", self.rounds)
+            .field_u64("messages", self.messages)
+            .field_u64("messages_total", self.messages_total)
+            .field_bool("agreement", self.agreement)
+            .field_bool("validity_ok", self.validity_ok)
+            .field_u64("b_actual", self.b_actual as u64)
+            .field_u64("k_a", self.k_a as u64)
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -315,9 +469,31 @@ mod tests {
     }
 
     #[test]
+    fn baseline_pipelines_run_through_the_same_path() {
+        for pipeline in [Pipeline::PhaseKing, Pipeline::TruncatedDolevStrong] {
+            let cfg = ExperimentConfig::new(10, 3, 2, 0, pipeline)
+                .with_inputs(InputPattern::Unanimous(4));
+            let out = cfg.run();
+            assert!(out.agreement, "{pipeline:?} broke agreement");
+            assert!(out.validity_ok, "{pipeline:?} broke unanimity");
+            assert_eq!(out.k_a, 0, "baselines never classify");
+        }
+    }
+
+    #[test]
+    fn baselines_ignore_the_prediction_budget() {
+        let base = ExperimentConfig::new(10, 3, 2, 0, Pipeline::PhaseKing);
+        let noisy = base.clone().with_budget(10 * 10);
+        let a = base.run();
+        let b = noisy.run();
+        assert_eq!(a.rounds, b.rounds, "budget must not affect a baseline");
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
     fn unanimous_inputs_check_validity() {
-        let mut cfg = ExperimentConfig::new(16, 5, 1, 5, Pipeline::Unauth);
-        cfg.inputs = InputPattern::Unanimous(9);
+        let cfg = ExperimentConfig::new(16, 5, 1, 5, Pipeline::Unauth)
+            .with_inputs(InputPattern::Unanimous(9));
         let out = cfg.run();
         assert!(out.validity_ok, "decision must equal the unanimous input");
     }
@@ -337,8 +513,8 @@ mod tests {
             LiarStyle::Inverted,
             LiarStyle::RandomPerRecipient,
         ] {
-            let mut cfg = ExperimentConfig::new(16, 5, 3, 10, Pipeline::Unauth);
-            cfg.adversary = AdversaryKind::ClassifyLiar(style);
+            let cfg = ExperimentConfig::new(16, 5, 3, 10, Pipeline::Unauth)
+                .with_adversary(AdversaryKind::ClassifyLiar(style));
             let out = cfg.run();
             assert!(out.agreement, "{style:?} broke agreement");
         }
@@ -346,8 +522,8 @@ mod tests {
 
     #[test]
     fn replay_adversary_is_harmless() {
-        let mut cfg = ExperimentConfig::new(16, 5, 3, 8, Pipeline::Unauth);
-        cfg.adversary = AdversaryKind::Replay;
+        let cfg = ExperimentConfig::new(16, 5, 3, 8, Pipeline::Unauth)
+            .with_adversary(AdversaryKind::Replay);
         let out = cfg.run();
         assert!(out.agreement);
     }
@@ -365,13 +541,74 @@ mod tests {
     #[test]
     fn perfect_predictions_decide_faster_than_garbage() {
         let good = ExperimentConfig::new(24, 7, 6, 0, Pipeline::Unauth).run();
-        let mut bad_cfg = ExperimentConfig::new(24, 7, 6, 24 * 24, Pipeline::Unauth);
-        bad_cfg.placement = ErrorPlacement::Concentrated;
-        let bad = bad_cfg.run();
+        let bad = ExperimentConfig::new(24, 7, 6, 24 * 24, Pipeline::Unauth)
+            .with_placement(ErrorPlacement::Concentrated)
+            .run();
         assert!(good.agreement && bad.agreement);
         assert!(
             good.rounds.unwrap() <= bad.rounds.unwrap(),
             "accurate predictions must not be slower"
         );
+    }
+
+    #[test]
+    fn builder_derives_t_from_the_pipeline() {
+        let cfg = ExperimentConfig::builder()
+            .n(32)
+            .faults(7, FaultPlacement::Spread)
+            .budget(12, ErrorPlacement::Concentrated)
+            .adversary(AdversaryKind::Disruptor)
+            .build();
+        assert_eq!(cfg.t, 10, "(32 - 1) / 3");
+        let auth = ExperimentConfig::builder()
+            .n(32)
+            .pipeline(Pipeline::Auth)
+            .build();
+        assert_eq!(auth.t, 15, "(32 - 1) / 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds t")]
+    fn builder_rejects_f_above_t() {
+        let _ = ExperimentConfig::builder()
+            .n(10)
+            .faults(4, FaultPlacement::Head)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerates at most")]
+    fn run_rejects_t_beyond_the_pipeline_bound() {
+        // t = 5 needs signatures at n = 12; the unauth driver must refuse.
+        let _ = ExperimentConfig::new(12, 5, 2, 0, Pipeline::Unauth).run();
+    }
+
+    #[test]
+    fn combinators_produce_modified_copies() {
+        let base = ExperimentConfig::new(16, 5, 2, 8, Pipeline::Unauth);
+        let tweaked = base
+            .clone()
+            .with_seed(7)
+            .with_pipeline(Pipeline::Auth)
+            .with_fault_placement(FaultPlacement::Head);
+        assert_eq!(base.seed, 0);
+        assert_eq!(tweaked.seed, 7);
+        assert_eq!(tweaked.pipeline, Pipeline::Auth);
+        assert_eq!(tweaked.fault_placement, FaultPlacement::Head);
+        assert_eq!(base.pipeline, Pipeline::Unauth);
+    }
+
+    #[test]
+    fn outcome_serializes_to_json() {
+        let out = ExperimentConfig::new(16, 5, 2, 0, Pipeline::Unauth).run();
+        let json = out.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"agreement\":true"));
+        assert!(json.contains("\"rounds\":"));
+        let undecided = ExperimentOutcome {
+            rounds: None,
+            ..out
+        };
+        assert!(undecided.to_json().contains("\"rounds\":null"));
     }
 }

@@ -41,9 +41,7 @@ pub fn faults(n: usize, f: usize, placement: FaultIds) -> BTreeSet<ProcessId> {
             if f == 0 {
                 return BTreeSet::new();
             }
-            (0..f)
-                .map(|i| ProcessId(((i * n) / f) as u32))
-                .collect()
+            (0..f).map(|i| ProcessId(((i * n) / f) as u32)).collect()
         }
         FaultIds::Pairs => {
             let mut ids = BTreeSet::new();
@@ -178,7 +176,8 @@ pub fn predictions_with_budget(
             // Observation 1: flipping a faulty target to "trusted
             // everywhere" costs ⌈(n+1)/2⌉ − f wrong honest bits when the
             // f coalition votes endorse it.
-            let per_target = (n.div_ceil(2) + usize::from(n % 2 == 0)).saturating_sub(faulty.len());
+            let per_target =
+                (n.div_ceil(2) + usize::from(n.is_multiple_of(2))).saturating_sub(faulty.len());
             'outer: for col in faulty.iter().map(|p| p.index()) {
                 for &r in honest.iter().take(per_target) {
                     if remaining == 0 {

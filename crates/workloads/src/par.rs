@@ -1,0 +1,83 @@
+//! Deterministic parallel mapping over independent work items.
+//!
+//! `rayon` is outside the offline container's dependency set (see
+//! `crates/shims/README.md`), so the sweep harness parallelizes with a
+//! scoped-thread work queue instead. The contract that matters to the
+//! harness is preserved exactly: **results are returned in input
+//! order**, so a parallel sweep is byte-identical to a serial one —
+//! each experiment is a pure function of its config, and ordering is
+//! restored by index regardless of which worker ran it.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `available_parallelism` worker
+/// threads, returning results in input order.
+///
+/// Falls back to a plain serial map for zero/one items or when only
+/// one core is available, so callers need no special casing.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..200).collect();
+        let out = par_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..200).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_serial_map_for_uneven_work() {
+        // Work items with wildly different costs still land in order.
+        let items: Vec<u64> = (0..64).map(|i| (i * 37) % 11).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| (0..x * 1000).sum::<u64>()).collect();
+        let parallel = par_map(&items, |&x| (0..x * 1000).sum::<u64>());
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,17 +1,23 @@
-//! Multi-seed sweeps and summary statistics.
+//! Multi-seed sweeps, multi-config grids, and summary statistics.
 //!
 //! The simulator is deterministic per configuration, but workload
 //! randomness (error placement, adversary scheduling) makes single-seed
 //! numbers noisy summaries of a configuration's behaviour. This module
 //! runs a configuration across seeds and aggregates: worst case (what
-//! the theorems bound), mean, and best case. The scaling helpers fit the
+//! the theorems bound), mean, and best case. [`sweep_grid`] lifts that
+//! to the cartesian product over `n`/`B`/`f`/pipeline — the shape of
+//! every cross-family bench table — executing configurations in
+//! parallel ([`crate::par`]) with results in deterministic grid order,
+//! byte-identical to the serial path. The scaling helpers fit the
 //! measured curves against reference shapes (`n²`, `min{B/n+1, f}`), so
 //! bench tables can report shape-conformance numerically.
 
-use crate::experiment::{ExperimentConfig, ExperimentOutcome};
+use crate::experiment::{ExperimentConfig, ExperimentOutcome, Pipeline};
+use crate::json::{to_json_array, JsonObject, ToJson};
+use crate::par::par_map;
 
 /// Aggregated results of one configuration across seeds.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepSummary {
     /// Number of seeds run.
     pub runs: usize,
@@ -37,15 +43,28 @@ pub struct SweepSummary {
     pub b_actual: usize,
 }
 
+impl ToJson for SweepSummary {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_u64("runs", self.runs as u64)
+            .field_opt_u64("rounds_max", self.rounds_max)
+            .field_opt_u64("rounds_min", self.rounds_min)
+            .field_f64("rounds_mean", self.rounds_mean)
+            .field_u64("messages_max", self.messages_max)
+            .field_f64("messages_mean", self.messages_mean)
+            .field_bool("always_agreed", self.always_agreed)
+            .field_bool("always_valid", self.always_valid)
+            .field_f64("k_a_mean", self.k_a_mean)
+            .field_u64("b_actual", self.b_actual as u64)
+            .finish()
+    }
+}
+
 /// Runs `cfg` across `seeds` and aggregates the outcomes.
 pub fn sweep_seeds(cfg: &ExperimentConfig, seeds: impl IntoIterator<Item = u64>) -> SweepSummary {
     let outcomes: Vec<ExperimentOutcome> = seeds
         .into_iter()
-        .map(|seed| {
-            let mut c = cfg.clone();
-            c.seed = seed;
-            c.run()
-        })
+        .map(|seed| cfg.clone().with_seed(seed).run())
         .collect();
     summarize(&outcomes)
 }
@@ -56,8 +75,7 @@ pub fn summarize(outcomes: &[ExperimentOutcome]) -> SweepSummary {
     let runs = outcomes.len();
     let all_decided = outcomes.iter().all(|o| o.rounds.is_some());
     let rounds: Vec<u64> = outcomes.iter().filter_map(|o| o.rounds).collect();
-    let rounds_mean =
-        rounds.iter().sum::<u64>() as f64 / rounds.len().max(1) as f64;
+    let rounds_mean = rounds.iter().sum::<u64>() as f64 / rounds.len().max(1) as f64;
     SweepSummary {
         runs,
         rounds_max: all_decided.then(|| rounds.iter().copied().max().unwrap_or(0)),
@@ -70,6 +88,194 @@ pub fn summarize(outcomes: &[ExperimentOutcome]) -> SweepSummary {
         k_a_mean: outcomes.iter().map(|o| o.k_a).sum::<usize>() as f64 / runs as f64,
         b_actual: outcomes.first().map(|o| o.b_actual).unwrap_or(0),
     }
+}
+
+/// A cartesian sweep over system size, error budget, fault count, and
+/// pipeline, with every other knob held fixed by a base configuration.
+///
+/// ```
+/// use ba_workloads::{ExperimentConfig, Pipeline, SweepGrid};
+///
+/// let grid = SweepGrid::new(ExperimentConfig::builder().build())
+///     .ns([10, 13])
+///     .budgets([0, 8])
+///     .fs([0, 2])
+///     .pipelines([Pipeline::Unauth, Pipeline::PhaseKing])
+///     .seeds(0..2);
+/// // The prediction-free PhaseKing pipeline ignores the budget axis,
+/// // so it contributes one cell per (n, f) instead of one per budget.
+/// let points = ba_workloads::sweep_grid(&grid);
+/// assert_eq!(points.len(), 2 * 2 * 2 + 2 * 2);
+/// assert!(points.iter().all(|p| p.summary.always_agreed));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SweepGrid {
+    /// Template for every cell: inputs, adversary, placements are
+    /// taken from here; `n`, `t`, `f`, `budget`, `pipeline`, `seed`
+    /// are overridden per cell.
+    pub base: ExperimentConfig,
+    /// System sizes to sweep.
+    pub ns: Vec<usize>,
+    /// Error budgets to sweep.
+    pub budgets: Vec<usize>,
+    /// Fault counts to sweep. Combinations exceeding a pipeline's
+    /// resilience at some `n` are skipped (deterministically — the
+    /// skip depends only on the grid, never on execution).
+    pub fs: Vec<usize>,
+    /// Pipelines to sweep.
+    pub pipelines: Vec<Pipeline>,
+    /// Seeds aggregated per cell.
+    pub seeds: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// Starts a grid from a base configuration; axes default to the
+    /// base's own values and can be widened with the combinators.
+    pub fn new(base: ExperimentConfig) -> Self {
+        SweepGrid {
+            ns: vec![base.n],
+            budgets: vec![base.budget],
+            fs: vec![base.f],
+            pipelines: vec![base.pipeline],
+            seeds: vec![base.seed],
+            base,
+        }
+    }
+
+    /// Sets the system-size axis.
+    pub fn ns(mut self, ns: impl IntoIterator<Item = usize>) -> Self {
+        self.ns = ns.into_iter().collect();
+        self
+    }
+
+    /// Sets the error-budget axis.
+    pub fn budgets(mut self, budgets: impl IntoIterator<Item = usize>) -> Self {
+        self.budgets = budgets.into_iter().collect();
+        self
+    }
+
+    /// Sets the fault-count axis.
+    pub fn fs(mut self, fs: impl IntoIterator<Item = usize>) -> Self {
+        self.fs = fs.into_iter().collect();
+        self
+    }
+
+    /// Sets the pipeline axis.
+    pub fn pipelines(mut self, pipelines: impl IntoIterator<Item = Pipeline>) -> Self {
+        self.pipelines = pipelines.into_iter().collect();
+        self
+    }
+
+    /// Sets the per-cell seed set.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Expands the grid into concrete configurations, in grid order
+    /// (pipeline-major, then `n`, `f`, `B`). Each cell derives `t`
+    /// from its pipeline's resilience bound at `n`; cells whose fault
+    /// count exceeds that bound are skipped, and prediction-free
+    /// pipelines collapse the budget axis to a single `B = 0` cell
+    /// (they never read the matrix, so every budget would re-run the
+    /// identical experiment and report a misleading non-zero `B`).
+    pub fn configs(&self) -> Vec<ExperimentConfig> {
+        let zero_budget = [0usize];
+        let mut out = Vec::new();
+        for &pipeline in &self.pipelines {
+            let budgets: &[usize] = if pipeline.driver().uses_predictions() {
+                &self.budgets
+            } else {
+                &zero_budget
+            };
+            for &n in &self.ns {
+                let t = pipeline.driver().max_faults(n);
+                for &f in &self.fs {
+                    if f > t {
+                        continue;
+                    }
+                    for &budget in budgets {
+                        let mut cfg = self
+                            .base
+                            .clone()
+                            .with_pipeline(pipeline)
+                            .with_budget(budget);
+                        cfg.n = n;
+                        cfg.t = t;
+                        cfg.f = f;
+                        out.push(cfg);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One cell of a grid sweep: the coordinates plus the seed-aggregated
+/// summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridPoint {
+    /// System size.
+    pub n: usize,
+    /// Derived fault bound.
+    pub t: usize,
+    /// Fault count.
+    pub f: usize,
+    /// Requested error budget.
+    pub budget: usize,
+    /// Pipeline run in this cell.
+    pub pipeline: Pipeline,
+    /// Seed-aggregated measurements.
+    pub summary: SweepSummary,
+}
+
+impl ToJson for GridPoint {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_str("pipeline", self.pipeline.name())
+            .field_u64("n", self.n as u64)
+            .field_u64("t", self.t as u64)
+            .field_u64("f", self.f as u64)
+            .field_u64("budget", self.budget as u64)
+            .field_raw("summary", &self.summary.to_json())
+            .finish()
+    }
+}
+
+/// Renders grid results as a JSON array — the machine-readable sweep
+/// output consumed by benchmark trajectory tooling.
+pub fn grid_to_json(points: &[GridPoint]) -> String {
+    to_json_array(points)
+}
+
+fn grid_point(cfg: &ExperimentConfig, seeds: &[u64]) -> GridPoint {
+    GridPoint {
+        n: cfg.n,
+        t: cfg.t,
+        f: cfg.f,
+        budget: cfg.budget,
+        pipeline: cfg.pipeline,
+        summary: sweep_seeds(cfg, seeds.iter().copied()),
+    }
+}
+
+/// Runs every cell of `grid` in parallel, returning points in grid
+/// order. Because each experiment is a pure function of its
+/// configuration and ordering is restored by index, the output is
+/// identical to [`sweep_grid_serial`].
+pub fn sweep_grid(grid: &SweepGrid) -> Vec<GridPoint> {
+    let configs = grid.configs();
+    par_map(&configs, |cfg| grid_point(cfg, &grid.seeds))
+}
+
+/// Serial reference implementation of [`sweep_grid`] (also the
+/// fallback semantics: same cells, same order).
+pub fn sweep_grid_serial(grid: &SweepGrid) -> Vec<GridPoint> {
+    grid.configs()
+        .iter()
+        .map(|cfg| grid_point(cfg, &grid.seeds))
+        .collect()
 }
 
 /// Least-squares exponent of `y ≈ c·xᵖ` over positive samples — used to
@@ -127,8 +333,93 @@ mod tests {
     }
 
     #[test]
+    fn grid_expands_the_cartesian_product_in_stable_order() {
+        let grid = SweepGrid::new(ExperimentConfig::builder().build())
+            .ns([10, 13])
+            .budgets([0, 4])
+            .fs([0, 2])
+            .pipelines([Pipeline::Unauth, Pipeline::Auth]);
+        let configs = grid.configs();
+        assert_eq!(configs.len(), 16);
+        assert_eq!(configs[0].pipeline, Pipeline::Unauth);
+        assert_eq!(configs[0].n, 10);
+        assert_eq!(configs[0].t, 3, "t derived per pipeline");
+        assert_eq!(configs[8].pipeline, Pipeline::Auth);
+        assert_eq!(configs[8].t, 4);
+        // Same grid, same expansion.
+        let again = grid.configs();
+        assert_eq!(
+            format!("{configs:?}"),
+            format!("{again:?}"),
+            "expansion must be deterministic"
+        );
+    }
+
+    #[test]
+    fn grid_collapses_the_budget_axis_for_prediction_free_pipelines() {
+        let grid = SweepGrid::new(ExperimentConfig::builder().build())
+            .ns([10])
+            .budgets([0, 8, 16])
+            .pipelines([Pipeline::Unauth, Pipeline::PhaseKing]);
+        let configs = grid.configs();
+        // Unauth sweeps all three budgets; phase-king gets one B = 0 cell.
+        assert_eq!(configs.len(), 4);
+        let pk: Vec<_> = configs
+            .iter()
+            .filter(|c| c.pipeline == Pipeline::PhaseKing)
+            .collect();
+        assert_eq!(pk.len(), 1);
+        assert_eq!(pk[0].budget, 0);
+    }
+
+    #[test]
+    fn grid_skips_infeasible_fault_counts() {
+        let grid = SweepGrid::new(ExperimentConfig::builder().build())
+            .ns([10])
+            .fs([0, 4])
+            .pipelines([Pipeline::Unauth, Pipeline::Auth]);
+        let configs = grid.configs();
+        // Unauth at n = 10 tolerates t = 3 < 4: the f = 4 cell exists
+        // only for the auth pipeline.
+        assert_eq!(configs.len(), 3);
+        assert!(configs
+            .iter()
+            .all(|c| c.pipeline == Pipeline::Auth || c.f == 0));
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_byte_for_byte() {
+        let grid = SweepGrid::new(ExperimentConfig::builder().build())
+            .ns([10, 13])
+            .budgets([0, 6])
+            .fs([2])
+            .pipelines(Pipeline::ALL)
+            .seeds(0..2);
+        let parallel = sweep_grid(&grid);
+        let serial = sweep_grid_serial(&grid);
+        assert_eq!(parallel.len(), serial.len());
+        assert_eq!(
+            format!("{parallel:?}"),
+            format!("{serial:?}"),
+            "parallel execution must not change results"
+        );
+        assert_eq!(grid_to_json(&parallel), grid_to_json(&serial));
+    }
+
+    #[test]
+    fn grid_points_serialize_to_a_json_array() {
+        let grid = SweepGrid::new(ExperimentConfig::builder().build()).seeds(0..2);
+        let points = sweep_grid(&grid);
+        let json = grid_to_json(&points);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"pipeline\":\"unauth-wrapper\""));
+        assert!(json.contains("\"summary\":{\"runs\":2"));
+    }
+
+    #[test]
     fn fit_power_law_recovers_known_exponents() {
-        let quadratic: Vec<(f64, f64)> = (1..=6).map(|x| (x as f64, (x * x) as f64 * 3.0)).collect();
+        let quadratic: Vec<(f64, f64)> =
+            (1..=6).map(|x| (x as f64, (x * x) as f64 * 3.0)).collect();
         let p = fit_power_law(&quadratic).expect("fit");
         assert!((p - 2.0).abs() < 1e-9, "got {p}");
 

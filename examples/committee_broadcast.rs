@@ -29,21 +29,38 @@ fn main() {
         .collect();
     let cert = CommitteeCert::assemble(0, &votes, t).expect("t + 1 votes collected");
     assert!(cert.verify(session, t, &pki));
-    println!("committee certificate for p0: {} signatures, verifies ✓", cert.sigs.len());
+    println!(
+        "committee certificate for p0: {} signatures, verifies ✓",
+        cert.sigs.len()
+    );
 
     // A stolen certificate (re-pointed at p5) must fail.
-    let stolen = CommitteeCert { member: 5, sigs: cert.sigs.clone() };
+    let stolen = CommitteeCert {
+        member: 5,
+        sigs: cert.sigs.clone(),
+    };
     assert!(!stolen.verify(session, t, &pki));
     println!("re-pointed certificate rejected ✓");
 
     // --- Definition 2: message chains ---------------------------------
-    let chain = MessageChain::start(session, 0, Value(99), &pki.signing_key(0), Some(cert.clone()))
-        .extend(session, 0, &pki.signing_key(1), Some({
+    let chain = MessageChain::start(
+        session,
+        0,
+        Value(99),
+        &pki.signing_key(0),
+        Some(cert.clone()),
+    )
+    .extend(
+        session,
+        0,
+        &pki.signing_key(1),
+        Some({
             let votes: Vec<Signature> = (0..=t as u32)
                 .map(|v| pki.signing_key(v).sign(&committee_bytes(session, 1)))
                 .collect();
             CommitteeCert::assemble(1, &votes, t).expect("votes")
-        }));
+        }),
+    );
     assert!(chain.verify(session, 0, t, true, &pki));
     println!("length-{} message chain verifies ✓", chain.len());
     let mut tampered = chain.clone();
@@ -82,5 +99,8 @@ fn main() {
     for outs in report.outputs.values() {
         assert_eq!(outs, view, "committee agreement");
     }
-    println!("all {} processes hold identical delivery vectors ✓", report.outputs.len());
+    println!(
+        "all {} processes hold identical delivery vectors ✓",
+        report.outputs.len()
+    );
 }

@@ -17,15 +17,17 @@ fn main() {
         &["B", "B/n", "k_A", "rounds", "LB (Thm 13)", "agreement"],
     );
     for budget in [0usize, 6, 12, 24, 48, 96, 192, 384, 576] {
-        let mut cfg = ExperimentConfig::new(n, t, f, budget, Pipeline::Unauth);
-        cfg.placement = ErrorPlacement::Concentrated;
-        cfg.seed = 11;
+        let cfg = ExperimentConfig::new(n, t, f, budget, Pipeline::Unauth)
+            .with_placement(ErrorPlacement::Concentrated)
+            .with_seed(11);
         let out = cfg.run();
         table.row([
             out.b_actual.to_string(),
             (out.b_actual / n).to_string(),
             out.k_a.to_string(),
-            out.rounds.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            out.rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
             round_lower_bound(n, t, f, out.b_actual).to_string(),
             out.agreement.to_string(),
         ]);

@@ -18,20 +18,34 @@ fn main() {
 
     // A prediction with a small error budget: B = 8 wrong bits spread
     // uniformly across the honest processes' prediction strings.
-    let mut good = ExperimentConfig::new(n, t, f, 8, Pipeline::Unauth);
-    good.inputs = InputPattern::Unanimous(42);
+    let good = ExperimentConfig::builder()
+        .n(n)
+        .t(t)
+        .faults(f, FaultPlacement::Spread)
+        .budget(8, ErrorPlacement::Uniform)
+        .inputs(InputPattern::Unanimous(42))
+        .build();
     let good_out = good.run();
 
     // The same system fed pure noise: every bit of every prediction
     // string is fair game (B saturates the matrix).
-    let mut noisy = ExperimentConfig::new(n, t, f, n * n, Pipeline::Unauth);
-    noisy.placement = ErrorPlacement::Concentrated;
-    noisy.inputs = InputPattern::Unanimous(42);
+    let noisy = good
+        .clone()
+        .with_budget(n * n)
+        .with_placement(ErrorPlacement::Concentrated);
     let noisy_out = noisy.run();
 
     let mut table = Table::new(
         &format!("n = {n}, t = {t}, f = {f}, unanimous inputs"),
-        &["predictions", "B", "k_A", "rounds", "messages", "agreement", "validity"],
+        &[
+            "predictions",
+            "B",
+            "k_A",
+            "rounds",
+            "messages",
+            "agreement",
+            "validity",
+        ],
     );
     table.row([
         "mostly right".to_string(),

@@ -51,7 +51,12 @@ fn monitor_predictions(
     m
 }
 
-fn run_with_monitor(n: usize, t: usize, faulty: &BTreeSet<ProcessId>, m: &PredictionMatrix) -> (u64, u64, usize) {
+fn run_with_monitor(
+    n: usize,
+    t: usize,
+    faulty: &BTreeSet<ProcessId>,
+    m: &PredictionMatrix,
+) -> (u64, u64, usize) {
     let mut honest = BTreeMap::new();
     for id in ProcessId::all(n).filter(|p| !faulty.contains(p)) {
         honest.insert(

@@ -1,0 +1,40 @@
+//! Machine-readable sweep output: run a pipeline × n × B × f grid in
+//! parallel and emit the aggregated points as JSON, so benchmark
+//! trajectory files (`BENCH_*.json`) are produced by the repository
+//! itself instead of ad-hoc scripts.
+//!
+//! ```sh
+//! cargo run --release --example sweep_grid_json            # print to stdout
+//! cargo run --release --example sweep_grid_json BENCH_SWEEP.json
+//! ```
+
+use ba_predictions::prelude::*;
+
+fn main() {
+    let grid = SweepGrid::new(
+        ExperimentConfig::builder()
+            .n(16)
+            .faults(2, FaultPlacement::Spread)
+            .build(),
+    )
+    .ns([13, 16, 24])
+    .budgets([0, 16, 64])
+    .fs([0, 2, 4])
+    .pipelines(Pipeline::ALL)
+    .seeds(0..3);
+
+    let points = sweep_grid(&grid);
+    assert!(
+        points.iter().all(|p| p.summary.always_agreed),
+        "every cell must keep agreement"
+    );
+    let json = grid_to_json(&points);
+
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write JSON output");
+            eprintln!("wrote {} grid points to {path}", points.len());
+        }
+        None => println!("{json}"),
+    }
+}

@@ -27,7 +27,26 @@
 //! | [`ba_auth`] | committee certificates, message chains, Algorithms 6, 7 (§8) |
 //! | [`ba_early`] | early-stopping substrates (S4, S5) and prediction-free baselines |
 //! | [`ba_core`] | predictions, Algorithm 2, `π(c)` orderings, the Algorithm 1 wrapper |
-//! | [`ba_workloads`] | generators, adversary gallery, experiment harness, lower bounds |
+//! | [`ba_workloads`] | generators, adversary gallery, `ProtocolDriver` experiment harness, parallel sweeps, lower bounds |
+//!
+//! ## Execution API
+//!
+//! Every protocol family runs through one seam: a
+//! [`Pipeline`](ba_workloads::Pipeline) names a
+//! [`ProtocolDriver`](ba_workloads::ProtocolDriver) — the paper's
+//! unauthenticated/authenticated wrappers plus the prediction-free
+//! `PhaseKing` and `TruncatedDolevStrong` baselines — and
+//! [`ExperimentConfig::run`](ba_workloads::ExperimentConfig::run)
+//! builds, executes, and measures the type-erased session identically
+//! for all of them. Configurations are built fluently
+//! ([`ExperimentConfig::builder`](ba_workloads::ExperimentConfig::builder),
+//! `with_*` combinators); multi-config comparisons run in parallel via
+//! [`SweepGrid`](ba_workloads::SweepGrid) /
+//! [`sweep_grid`](ba_workloads::sweep_grid) with deterministic output,
+//! serializable to JSON ([`ToJson`](ba_workloads::ToJson)). New
+//! protocol variants (e.g. the communication-efficient or resilient
+//! prediction pipelines from follow-up work) plug in by implementing
+//! `ProtocolDriver`.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +58,15 @@
 //! let outcome = ExperimentConfig::new(16, 5, 2, /* B = */ 8, Pipeline::Unauth).run();
 //! assert!(outcome.agreement && outcome.validity_ok);
 //! println!("decided in {:?} rounds, {} messages", outcome.rounds, outcome.messages);
+//!
+//! // The same workload on the prediction-free baseline it must beat:
+//! let baseline = ExperimentConfig::builder()
+//!     .n(16)
+//!     .faults(2, FaultPlacement::Spread)
+//!     .pipeline(Pipeline::PhaseKing)
+//!     .build()
+//!     .run();
+//! assert!(baseline.agreement);
 //! ```
 
 pub use ba_auth;
@@ -56,10 +84,11 @@ pub mod prelude {
     pub use ba_core::{
         AuthWrapper, BitVec, Classify, MisclassificationReport, PredictionMatrix, UnauthWrapper,
     };
-    pub use ba_sim::{ProcessId, RunReport, Runner, SilentAdversary, Value};
+    pub use ba_sim::{ErasedSession, ProcessId, RunReport, Runner, SilentAdversary, Value};
     pub use ba_workloads::{
-        faults, message_lower_bound, predictions_with_budget, round_lower_bound, AdversaryKind,
-        ErrorPlacement, ExperimentConfig, ExperimentOutcome, FaultPlacement, InputPattern,
-        Pipeline, Table,
+        faults, grid_to_json, message_lower_bound, predictions_with_budget, round_lower_bound,
+        sweep_grid, sweep_seeds, AdversaryKind, ErrorPlacement, ExperimentBuilder,
+        ExperimentConfig, ExperimentOutcome, FaultPlacement, GridPoint, InputPattern, Pipeline,
+        ProtocolDriver, SessionSpec, SweepGrid, SweepSummary, Table, ToJson,
     };
 }

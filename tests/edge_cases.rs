@@ -82,7 +82,13 @@ fn crash_mid_run_after_active_disruption() {
         .map(|(slot, id)| {
             (
                 id,
-                UnauthWrapper::new(id, n, t, Value(1 + (slot % 2) as u64), matrix.row(id).clone()),
+                UnauthWrapper::new(
+                    id,
+                    n,
+                    t,
+                    Value(1 + (slot % 2) as u64),
+                    matrix.row(id).clone(),
+                ),
             )
         })
         .collect();
@@ -102,7 +108,13 @@ fn all_zero_and_all_one_predictions_coexist() {
     let n = 12;
     let t = 3;
     let rows: Vec<BitVec> = (0..n)
-        .map(|i| if i % 2 == 0 { BitVec::ones(n) } else { BitVec::zeros(n) })
+        .map(|i| {
+            if i % 2 == 0 {
+                BitVec::ones(n)
+            } else {
+                BitVec::zeros(n)
+            }
+        })
         .collect();
     let matrix = PredictionMatrix::from_rows(rows);
     let honest: BTreeMap<ProcessId, UnauthWrapper> = ProcessId::all(n)
@@ -111,7 +123,13 @@ fn all_zero_and_all_one_predictions_coexist() {
         .map(|(slot, id)| {
             (
                 id,
-                UnauthWrapper::new(id, n, t, Value(1 + (slot % 2) as u64), matrix.row(id).clone()),
+                UnauthWrapper::new(
+                    id,
+                    n,
+                    t,
+                    Value(1 + (slot % 2) as u64),
+                    matrix.row(id).clone(),
+                ),
             )
         })
         .collect();

@@ -13,6 +13,7 @@ fn matrix() -> Vec<ExperimentConfig> {
         let (n, t) = match pipeline {
             Pipeline::Unauth => (16usize, 5usize),
             Pipeline::Auth => (12, 5),
+            p => unreachable!("the matrix only exercises the wrapper pipelines: {p:?}"),
         };
         for f in [0usize, 2, t] {
             for budget in [0usize, 10, n * n / 2] {
@@ -49,7 +50,10 @@ fn agreement_and_liveness_across_the_matrix() {
         assert!(
             out.rounds.is_some(),
             "liveness failed: {:?} f={} B={} {:?}",
-            cfg.pipeline, cfg.f, cfg.budget, cfg.adversary
+            cfg.pipeline,
+            cfg.f,
+            cfg.budget,
+            cfg.adversary
         );
     }
 }
@@ -74,6 +78,7 @@ fn rounds_never_exceed_the_deterministic_schedule() {
         let bound = match cfg.pipeline {
             Pipeline::Unauth => UnauthWrapper::schedule(cfg.n, cfg.t).total_steps,
             Pipeline::Auth => AuthWrapper::schedule(cfg.n, cfg.t).total_steps,
+            p => unreachable!("the matrix only exercises the wrapper pipelines: {p:?}"),
         };
         assert!(
             out.rounds.unwrap_or(u64::MAX) <= bound,

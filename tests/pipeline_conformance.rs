@@ -1,0 +1,151 @@
+//! Conformance suite for the `ProtocolDriver` execution API: every
+//! `Pipeline` variant must reach agreement — and unanimity-validity —
+//! under both the weakest (`Silent`) and strongest (`Disruptor`)
+//! execution-scale adversaries, across multiple seeds; and the parallel
+//! grid sweep must be indistinguishable from serial execution.
+
+use ba_predictions::prelude::*;
+
+const SEEDS: std::ops::Range<u64> = 0..5;
+
+fn conformance_config(pipeline: Pipeline, adversary: AdversaryKind, seed: u64) -> ExperimentConfig {
+    let n = 13;
+    ExperimentConfig::builder()
+        .n(n)
+        .faults(2, FaultPlacement::Spread)
+        .budget(6, ErrorPlacement::Uniform)
+        .pipeline(pipeline)
+        .inputs(InputPattern::Unanimous(7))
+        .adversary(adversary)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn every_pipeline_agrees_under_silent_and_disruptor() {
+    for pipeline in Pipeline::ALL {
+        for adversary in [AdversaryKind::Silent, AdversaryKind::Disruptor] {
+            for seed in SEEDS {
+                let out = conformance_config(pipeline, adversary, seed).run();
+                assert!(
+                    out.agreement,
+                    "{pipeline:?} broke agreement under {adversary:?} (seed {seed})"
+                );
+                assert!(
+                    out.validity_ok,
+                    "{pipeline:?} broke unanimity-validity under {adversary:?} (seed {seed})"
+                );
+                assert!(
+                    out.rounds.is_some(),
+                    "{pipeline:?} lost liveness under {adversary:?} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_pipeline_agrees_on_split_inputs() {
+    for pipeline in Pipeline::ALL {
+        for seed in SEEDS {
+            let out = conformance_config(pipeline, AdversaryKind::Silent, seed)
+                .with_inputs(InputPattern::Split)
+                .run();
+            assert!(out.agreement, "{pipeline:?} split inputs (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn pipelines_are_deterministic_per_seed() {
+    for pipeline in Pipeline::ALL {
+        let cfg = conformance_config(pipeline, AdversaryKind::Disruptor, 3);
+        assert_eq!(cfg.run(), cfg.run(), "{pipeline:?} must be deterministic");
+    }
+}
+
+#[test]
+fn unauth_wrapper_beats_its_baseline_once_faults_dominate() {
+    // The headline claim is asymptotic — `O(min{B/n + 1, f})` vs the
+    // baseline's `Θ(f)` — so the crossover appears once `f` is large
+    // enough to outweigh the wrapper's constant: at n = 40 with f = 10
+    // silent faults and perfect predictions, the wrapper must decide
+    // strictly earlier than phase-king's `f + 2` early-stopping phases.
+    let make = |pipeline| {
+        ExperimentConfig::builder()
+            .n(40)
+            .t(12)
+            .faults(10, FaultPlacement::Head)
+            .pipeline(pipeline)
+            .build()
+            .run()
+    };
+    let wrapper = make(Pipeline::Unauth);
+    let baseline = make(Pipeline::PhaseKing);
+    assert!(wrapper.agreement && baseline.agreement);
+    assert!(
+        wrapper.rounds.unwrap() < baseline.rounds.unwrap(),
+        "wrapper ({:?} rounds) must beat phase-king ({:?} rounds) at B = 0, f = 10",
+        wrapper.rounds,
+        baseline.rounds
+    );
+}
+
+#[test]
+fn dolev_strong_baseline_runs_in_exactly_t_plus_one_rounds() {
+    // The authenticated baseline has no early stopping: its round count
+    // is the `t + 1` chain length regardless of the actual fault count,
+    // which is the curve the auth wrapper's constant is traded against.
+    for (n, t) in [(13usize, 4usize), (40, 13)] {
+        let out = ExperimentConfig::builder()
+            .n(n)
+            .t(t)
+            .faults(2, FaultPlacement::Spread)
+            .pipeline(Pipeline::TruncatedDolevStrong)
+            .build()
+            .run();
+        assert!(out.agreement);
+        assert_eq!(
+            out.rounds,
+            Some(t as u64 + 1),
+            "full Dolev–Strong at n = {n}"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_grid_is_byte_identical_to_serial() {
+    let grid = SweepGrid::new(
+        ExperimentConfig::builder()
+            .n(13)
+            .faults(2, FaultPlacement::Spread)
+            .build(),
+    )
+    .ns([10, 13])
+    .budgets([0, 8])
+    .fs([0, 2])
+    .pipelines(Pipeline::ALL)
+    .seeds(0..3);
+
+    let parallel = sweep_grid(&grid);
+    let serial = ba_workloads::sweep_grid_serial(&grid);
+    assert!(!parallel.is_empty());
+    assert_eq!(
+        format!("{parallel:?}"),
+        format!("{serial:?}"),
+        "parallel and serial sweeps must produce identical results"
+    );
+    assert_eq!(grid_to_json(&parallel), grid_to_json(&serial));
+}
+
+#[test]
+fn grid_json_is_stable_across_runs() {
+    let grid = SweepGrid::new(ExperimentConfig::builder().n(10).build())
+        .pipelines(Pipeline::ALL)
+        .seeds(0..2);
+    assert_eq!(
+        grid_to_json(&sweep_grid(&grid)),
+        grid_to_json(&sweep_grid(&grid)),
+        "grid output must be reproducible"
+    );
+}
