@@ -27,7 +27,9 @@
 use crate::bb_committee::{BbBatch, CommitteeMode, ParallelBroadcast};
 use crate::chains::{committee_bytes, CommitteeCert};
 use ba_crypto::{Pki, Signature, SigningKey};
-use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Tally, Value};
+use ba_sim::{
+    forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Tally, Value, WireSize,
+};
 use std::sync::Arc;
 
 /// Messages of Algorithm 7.
@@ -44,6 +46,17 @@ pub enum Alg7Msg {
         /// The reporter's committee certificate.
         cert: CommitteeCert,
     },
+}
+
+/// A discriminant byte plus the variant's payload.
+impl WireSize for Alg7Msg {
+    fn wire_bytes(&self) -> u64 {
+        1 + match self {
+            Alg7Msg::CommitteeVote(sig) => sig.wire_bytes(),
+            Alg7Msg::Chains(batch) => batch.wire_bytes(),
+            Alg7Msg::Plurality { value, cert } => value.wire_bytes() + cert.wire_bytes(),
+        }
+    }
 }
 
 /// One process's state machine for Algorithm 7.

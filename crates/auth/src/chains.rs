@@ -16,7 +16,7 @@
 //! truncate Dolev–Strong to `k + 1` rounds.
 
 use ba_crypto::{Encodable, Encoder, Pki, Signature, SigningKey};
-use ba_sim::Value;
+use ba_sim::{Value, WireSize};
 use std::collections::BTreeSet;
 
 /// Canonical bytes of the committee-membership statement
@@ -44,6 +44,12 @@ pub struct CommitteeCert {
     pub member: u32,
     /// Signatures by `t + 1` distinct processes.
     pub sigs: Vec<Signature>,
+}
+
+impl WireSize for CommitteeCert {
+    fn wire_bytes(&self) -> u64 {
+        self.member.wire_bytes() + self.sigs.wire_bytes()
+    }
 }
 
 impl CommitteeCert {
@@ -95,6 +101,12 @@ pub struct ChainLink {
     pub sig: Signature,
 }
 
+impl WireSize for ChainLink {
+    fn wire_bytes(&self) -> u64 {
+        self.cert.wire_bytes() + self.sig.wire_bytes()
+    }
+}
+
 /// A message chain (Definition 2) for one value started by one process.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MessageChain {
@@ -102,6 +114,12 @@ pub struct MessageChain {
     pub value: Value,
     /// Links in extension order; `links[0]` is the starter's.
     pub links: Vec<ChainLink>,
+}
+
+impl WireSize for MessageChain {
+    fn wire_bytes(&self) -> u64 {
+        self.value.wire_bytes() + self.links.wire_bytes()
+    }
 }
 
 impl MessageChain {

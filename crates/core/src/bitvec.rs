@@ -25,6 +25,13 @@ impl std::fmt::Debug for BitVec {
     }
 }
 
+/// A 4-byte length prefix plus the packed bits.
+impl ba_sim::WireSize for BitVec {
+    fn wire_bytes(&self) -> u64 {
+        4 + self.len.div_ceil(8) as u64
+    }
+}
+
 impl BitVec {
     /// Creates an all-zero vector of `len` bits.
     pub fn zeros(len: usize) -> Self {

@@ -29,7 +29,7 @@ use ba_auth::{Alg7Msg, AuthBaWithClassification};
 use ba_crypto::{Pki, SigningKey};
 use ba_early::TruncatedDs;
 use ba_graded::{AuthGcMsg, AuthGraded};
-use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value};
+use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value, WireSize};
 use std::sync::Arc;
 
 /// Messages of the authenticated wrapper, tagged by slot.
@@ -58,6 +58,19 @@ pub enum AuthWrapperMsg {
         /// Inner payload.
         inner: Arc<Alg7Msg>,
     },
+}
+
+/// A discriminant byte, the slot tag where present, and the inner
+/// payload.
+impl WireSize for AuthWrapperMsg {
+    fn wire_bytes(&self) -> u64 {
+        1 + match self {
+            AuthWrapperMsg::Classify(bits) => bits.wire_bytes(),
+            AuthWrapperMsg::Gc { slot, inner } => slot.wire_bytes() + inner.wire_bytes(),
+            AuthWrapperMsg::Es { slot, inner } => slot.wire_bytes() + inner.wire_bytes(),
+            AuthWrapperMsg::Class { slot, inner } => slot.wire_bytes() + inner.wire_bytes(),
+        }
+    }
 }
 
 enum Active {

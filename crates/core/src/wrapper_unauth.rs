@@ -32,7 +32,7 @@ use crate::ordering::pi_order;
 use crate::schedule::{Schedule, Slot, SlotKind};
 use ba_early::{EsUnauth, EsUnauthMsg};
 use ba_graded::{UnauthGcMsg, UnauthGraded};
-use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value};
+use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value, WireSize};
 use ba_unauth::{Alg5Msg, UnauthBaWithClassification};
 use std::sync::Arc;
 
@@ -62,6 +62,19 @@ pub enum UnauthWrapperMsg {
         /// Inner payload.
         inner: Arc<Alg5Msg>,
     },
+}
+
+/// A discriminant byte, the slot tag where present, and the inner
+/// payload.
+impl WireSize for UnauthWrapperMsg {
+    fn wire_bytes(&self) -> u64 {
+        1 + match self {
+            UnauthWrapperMsg::Classify(bits) => bits.wire_bytes(),
+            UnauthWrapperMsg::Gc { slot, inner } => slot.wire_bytes() + inner.wire_bytes(),
+            UnauthWrapperMsg::Es { slot, inner } => slot.wire_bytes() + inner.wire_bytes(),
+            UnauthWrapperMsg::Class { slot, inner } => slot.wire_bytes() + inner.wire_bytes(),
+        }
+    }
 }
 
 enum Active {

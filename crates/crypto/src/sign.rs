@@ -38,6 +38,13 @@ impl std::fmt::Debug for Signature {
     }
 }
 
+/// Signer id plus the 16-byte authentication tag.
+impl ba_sim::WireSize for Signature {
+    fn wire_bytes(&self) -> u64 {
+        4 + 16
+    }
+}
+
 impl crate::encode::Encodable for Signature {
     /// Canonical encoding of a signature (signer then tag), used when a
     /// signature is itself part of signed material — e.g. the paper's

@@ -14,7 +14,7 @@
 //!   `k` directly (it is self-conditional on `f ≤ k`).
 
 use crate::phase_king::{PhaseKing, PhaseKingMsg};
-use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value};
+use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value, WireSize};
 use ba_unauth::{Alg5Msg, UnauthBaWithClassification};
 use std::sync::Arc;
 
@@ -25,6 +25,16 @@ pub enum EsUnauthMsg {
     Alg5(Arc<Alg5Msg>),
     /// Phase-king traffic.
     King(Arc<PhaseKingMsg>),
+}
+
+/// A discriminant byte plus the inner payload.
+impl WireSize for EsUnauthMsg {
+    fn wire_bytes(&self) -> u64 {
+        1 + match self {
+            EsUnauthMsg::Alg5(inner) => inner.wire_bytes(),
+            EsUnauthMsg::King(inner) => inner.wire_bytes(),
+        }
+    }
 }
 
 /// Unauthenticated early-stopping Byzantine agreement with fault budget

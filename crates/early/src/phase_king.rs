@@ -35,6 +35,7 @@
 use ba_graded::{UnauthGcMsg, UnauthGraded};
 use ba_sim::{
     distinct_values_by_sender, forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value,
+    WireSize,
 };
 use std::sync::Arc;
 
@@ -62,6 +63,18 @@ pub enum PhaseKingMsg {
         /// Inner graded-consensus payload.
         inner: Arc<UnauthGcMsg>,
     },
+}
+
+/// A discriminant byte, the phase tag, and the variant's payload.
+impl WireSize for PhaseKingMsg {
+    fn wire_bytes(&self) -> u64 {
+        1 + match self {
+            PhaseKingMsg::Main { phase, inner } | PhaseKingMsg::Detect { phase, inner } => {
+                phase.wire_bytes() + inner.wire_bytes()
+            }
+            PhaseKingMsg::King { phase, value } => phase.wire_bytes() + value.wire_bytes(),
+        }
+    }
 }
 
 /// Result of a phase-king run.

@@ -33,7 +33,7 @@
 use crate::gradecast::{GcastConfig, GcastInstance, GcastItem};
 use crate::Graded;
 use ba_crypto::{Pki, SigningKey};
-use ba_sim::{Envelope, Outbox, Process, Tally, Value};
+use ba_sim::{Envelope, Outbox, Process, Tally, Value, WireSize};
 use std::sync::Arc;
 
 /// One round's batch: `(instance, payload)` pairs.
@@ -41,6 +41,12 @@ use std::sync::Arc;
 pub struct AuthGcMsg {
     /// Per-instance payloads carried by this physical message.
     pub items: Vec<(u32, GcastItem)>,
+}
+
+impl WireSize for AuthGcMsg {
+    fn wire_bytes(&self) -> u64 {
+        self.items.wire_bytes()
+    }
 }
 
 /// Authenticated graded consensus for `t < n/2` over `n` parallel

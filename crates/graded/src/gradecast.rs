@@ -60,7 +60,7 @@
 //! "exactly one certificate value by end of round 4" condition.
 
 use ba_crypto::{Encoder, Pki, Signature, SigningKey};
-use ba_sim::Value;
+use ba_sim::{Value, WireSize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Static parameters of one gradecast instance.
@@ -116,6 +116,12 @@ pub struct EchoCert {
     pub echo_sigs: Vec<Signature>,
 }
 
+impl WireSize for EchoCert {
+    fn wire_bytes(&self) -> u64 {
+        self.value.wire_bytes() + self.sender_sig.wire_bytes() + self.echo_sigs.wire_bytes()
+    }
+}
+
 impl EchoCert {
     /// Verifies structure and signatures against `cfg`.
     pub fn verify(&self, cfg: &GcastConfig, pki: &Pki) -> bool {
@@ -148,6 +154,12 @@ pub struct CommitCert {
     pub value: Value,
     /// Confirm signatures by distinct processes.
     pub confirm_sigs: Vec<Signature>,
+}
+
+impl WireSize for CommitCert {
+    fn wire_bytes(&self) -> u64 {
+        self.value.wire_bytes() + self.confirm_sigs.wire_bytes()
+    }
 }
 
 impl CommitCert {
@@ -200,6 +212,25 @@ pub enum GcastItem {
     },
     /// Round 5: a commit certificate.
     Commit(CommitCert),
+}
+
+/// A discriminant byte plus the variant's payload.
+impl WireSize for GcastItem {
+    fn wire_bytes(&self) -> u64 {
+        1 + match self {
+            GcastItem::Input { value, sig } => value.wire_bytes() + sig.wire_bytes(),
+            GcastItem::Echo {
+                value,
+                sender_sig,
+                sig,
+            } => value.wire_bytes() + sender_sig.wire_bytes() + sig.wire_bytes(),
+            GcastItem::Cert(cert) => cert.wire_bytes(),
+            GcastItem::Confirm { value, sig, cert } => {
+                value.wire_bytes() + sig.wire_bytes() + cert.wire_bytes()
+            }
+            GcastItem::Commit(cert) => cert.wire_bytes(),
+        }
+    }
 }
 
 /// Output of one gradecast instance.

@@ -50,6 +50,14 @@ pub enum UnauthGcMsg {
     Echo(Value),
 }
 
+/// A discriminant byte plus the carried value.
+impl ba_sim::WireSize for UnauthGcMsg {
+    fn wire_bytes(&self) -> u64 {
+        let (UnauthGcMsg::Vote(v) | UnauthGcMsg::Echo(v)) = self;
+        1 + v.wire_bytes()
+    }
+}
+
 /// One process's state machine for unauthenticated graded consensus.
 ///
 /// Implements [`ba_sim::Process`]; two communication rounds, output

@@ -10,7 +10,7 @@
 //! Design goals, in priority order:
 //!
 //! 1. **Determinism.** A run is a pure function of `(processes, adversary,
-//!    seed)`. All randomness flows through seeded [`rand`] generators. This
+//!    seed)`. All randomness flows through seeded `rand` generators. This
 //!    is what makes property-based protocol testing trustworthy.
 //! 2. **Faithful accounting.** The paper's complexity measures are *rounds
 //!    until the last honest process decides* and *messages sent by honest
@@ -73,6 +73,7 @@ mod id;
 mod multiset;
 mod process;
 mod runner;
+mod wire;
 
 pub use adversary::{
     Adversary, AdversaryCtx, ComposeAdversary, CrashAdversary, FnAdversary, ReplayAdversary,
@@ -85,3 +86,4 @@ pub use id::{ProcessId, Value};
 pub use multiset::{count_distinct_senders, distinct_values_by_sender, plurality_smallest, Tally};
 pub use process::Process;
 pub use runner::{RoundTrace, RunReport, Runner};
+pub use wire::WireSize;

@@ -1,6 +1,7 @@
 //! The protocol state-machine trait driven by the runner.
 
 use crate::envelope::{Envelope, Outbox};
+use crate::wire::WireSize;
 
 /// A deterministic synchronous protocol state machine for one process.
 ///
@@ -16,8 +17,10 @@ use crate::envelope::{Envelope, Outbox};
 /// for one more phase so that slower processes can also decide — i.e. it
 /// has an output long before it halts.
 pub trait Process {
-    /// Message type exchanged by this protocol.
-    type Msg: Clone;
+    /// Message type exchanged by this protocol. The [`WireSize`] bound
+    /// lets the runner charge every run its communication cost in bytes
+    /// as well as messages, uniformly across protocol families.
+    type Msg: Clone + WireSize;
     /// Result produced by this protocol.
     type Output: Clone;
 

@@ -4,7 +4,9 @@ use crate::adversary::{Adversary, AdversaryCtx};
 use crate::envelope::{Envelope, Outbox};
 use crate::id::ProcessId;
 use crate::process::Process;
+use crate::wire::WireSize;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Per-round accounting, retained for the whole run.
 #[derive(Clone, Debug, Default)]
@@ -13,6 +15,37 @@ pub struct RoundTrace {
     pub honest_messages: u64,
     /// Messages sent by faulty processes this round (self-copies excluded).
     pub faulty_messages: u64,
+    /// Bytes sent by honest processes this round ([`WireSize`] of every
+    /// remote envelope's payload).
+    pub honest_bytes: u64,
+    /// Bytes sent by faulty processes this round.
+    pub faulty_bytes: u64,
+}
+
+/// Sums the remote envelopes of one sender's traffic as `(messages,
+/// bytes)`, memoizing sizes per shared payload so a broadcast's body is
+/// measured once rather than once per recipient.
+fn remote_cost<M: WireSize>(envs: &[Envelope<M>]) -> (u64, u64) {
+    let mut messages = 0;
+    let mut bytes = 0;
+    let mut sizes: Vec<(*const M, u64)> = Vec::new();
+    for env in envs {
+        if env.to == env.from {
+            continue;
+        }
+        messages += 1;
+        let key = Arc::as_ptr(&env.payload);
+        let size = match sizes.iter().find(|(k, _)| *k == key) {
+            Some((_, s)) => *s,
+            None => {
+                let s = env.payload.wire_bytes();
+                sizes.push((key, s));
+                s
+            }
+        };
+        bytes += size;
+    }
+    (messages, bytes)
 }
 
 /// The outcome and cost profile of one synchronous execution.
@@ -34,6 +67,14 @@ pub struct RunReport<O> {
     /// which the last honest process decided (the paper counts messages
     /// "up until they decide").
     pub honest_messages_until_decision: u64,
+    /// Total bytes sent by honest processes over the run (self-copies
+    /// excluded) — the communication complexity measure of the
+    /// communication-efficient follow-up work.
+    pub honest_bytes: u64,
+    /// Bytes sent by honest processes up to and including the round of
+    /// the last honest decision (mirrors
+    /// [`honest_messages_until_decision`](Self::honest_messages_until_decision)).
+    pub honest_bytes_until_decision: u64,
     /// Per-process message counts (self-copies excluded).
     pub messages_per_process: BTreeMap<ProcessId, u64>,
     /// Per-round traces.
@@ -147,6 +188,8 @@ where
                 last_decision_round: None,
                 honest_messages: 0,
                 honest_messages_until_decision: 0,
+                honest_bytes: 0,
+                honest_bytes_until_decision: 0,
                 messages_per_process: BTreeMap::new(),
                 rounds: Vec::new(),
                 rounds_executed: 0,
@@ -174,8 +217,9 @@ where
             let mut out = Outbox::new(id, self.n);
             proc.step(round, &inbox, &mut out);
             let envs = out.into_envelopes();
-            let remote = envs.iter().filter(|e| e.to != e.from).count() as u64;
+            let (remote, bytes) = remote_cost(&envs);
             trace.honest_messages += remote;
+            trace.honest_bytes += bytes;
             *self.report.messages_per_process.entry(id).or_insert(0) += remote;
             honest_traffic.extend(envs);
 
@@ -201,11 +245,15 @@ where
         };
         self.adversary.act(&mut ctx);
         let faulty_traffic = ctx.outgoing;
-        trace.faulty_messages += faulty_traffic.iter().filter(|e| e.to != e.from).count() as u64;
+        let (faulty_messages, faulty_bytes) = remote_cost(&faulty_traffic);
+        trace.faulty_messages += faulty_messages;
+        trace.faulty_bytes += faulty_bytes;
 
         self.report.honest_messages += trace.honest_messages;
+        self.report.honest_bytes += trace.honest_bytes;
         if self.report.outputs.len() < self.report.honest_count {
             self.report.honest_messages_until_decision = self.report.honest_messages;
+            self.report.honest_bytes_until_decision = self.report.honest_bytes;
         }
 
         // Route all round-`round` traffic into step-`round+1` inboxes,
@@ -318,6 +366,30 @@ mod tests {
         // Each of 4 processes broadcasts once: 3 remote copies each.
         assert_eq!(report.honest_messages, 12);
         assert!(report.messages_per_process.values().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn honest_byte_count_charges_payload_sizes() {
+        let n = 4;
+        let mut runner = Runner::new(n, min_echo_system(n, n), SilentAdversary);
+        let report = runner.run(10);
+        // 12 remote Value envelopes at 8 bytes each.
+        assert_eq!(report.honest_bytes, 96);
+        assert_eq!(report.rounds[0].honest_bytes, 96);
+        assert!(report.rounds.iter().skip(1).all(|t| t.honest_bytes == 0));
+    }
+
+    #[test]
+    fn bytes_until_decision_freeze_with_messages() {
+        let n = 5;
+        let mut runner = Runner::new(n, min_echo_system(n, n), SilentAdversary);
+        let report = runner.run(10);
+        assert_eq!(
+            report.honest_bytes_until_decision,
+            report.honest_messages_until_decision * 8,
+            "every MinEcho payload is one 8-byte Value"
+        );
+        assert!(report.honest_bytes_until_decision <= report.honest_bytes);
     }
 
     #[test]

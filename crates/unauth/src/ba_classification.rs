@@ -31,7 +31,7 @@
 use crate::conciliation::{ConcMsg, Conciliation};
 use crate::gc_core_set::{CoreSetGcMsg, CoreSetGraded};
 use crate::ListenSet;
-use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value};
+use ba_sim::{forward_sub, sub_inbox, Envelope, Outbox, Process, ProcessId, Value, WireSize};
 use std::sync::Arc;
 
 /// Tagged messages of Algorithm 5.
@@ -58,6 +58,18 @@ pub enum Alg5Msg {
         /// Algorithm 3 payload.
         inner: Arc<CoreSetGcMsg>,
     },
+}
+
+/// A discriminant byte, the phase tag, and the inner payload.
+impl WireSize for Alg5Msg {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Alg5Msg::GcA { phase, inner } | Alg5Msg::GcB { phase, inner } => {
+                1 + phase.wire_bytes() + inner.wire_bytes()
+            }
+            Alg5Msg::Conc { phase, inner } => 1 + phase.wire_bytes() + inner.wire_bytes(),
+        }
+    }
 }
 
 /// The result of Algorithm 5 at one process.

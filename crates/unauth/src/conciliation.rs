@@ -19,7 +19,7 @@
 //!   `v`.
 
 use crate::ListenSet;
-use ba_sim::{Envelope, Outbox, Process, ProcessId, Tally, Value};
+use ba_sim::{Envelope, Outbox, Process, ProcessId, Tally, Value, WireSize};
 use std::collections::BTreeMap;
 
 /// The single message of Algorithm 4: a member's input and claimed listen
@@ -30,6 +30,12 @@ pub struct ConcMsg {
     pub value: Value,
     /// The sender's claimed listen set `L` (sorted identifiers).
     pub listen: Vec<ProcessId>,
+}
+
+impl WireSize for ConcMsg {
+    fn wire_bytes(&self) -> u64 {
+        self.value.wire_bytes() + self.listen.wire_bytes()
+    }
 }
 
 /// One process's state machine for Algorithm 4.

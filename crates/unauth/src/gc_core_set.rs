@@ -29,7 +29,7 @@
 
 use crate::ListenSet;
 use ba_graded::Graded;
-use ba_sim::{distinct_values_by_sender, Envelope, Outbox, Process, Tally, Value};
+use ba_sim::{distinct_values_by_sender, Envelope, Outbox, Process, Tally, Value, WireSize};
 
 /// Messages of Algorithm 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +38,14 @@ pub enum CoreSetGcMsg {
     Input(Value),
     /// Round-2 binding broadcast.
     Binding(Value),
+}
+
+/// A discriminant byte plus the carried value.
+impl WireSize for CoreSetGcMsg {
+    fn wire_bytes(&self) -> u64 {
+        let (CoreSetGcMsg::Input(v) | CoreSetGcMsg::Binding(v)) = self;
+        1 + v.wire_bytes()
+    }
 }
 
 /// One process's state machine for Algorithm 3.

@@ -6,11 +6,11 @@
 //! to run all of them through one code path. A [`ProtocolDriver`] knows
 //! how to turn a [`SessionSpec`] (system size, fault set, prediction
 //! matrix, inputs, adversary, seed) into a type-erased
-//! [`ErasedSession`](ba_sim::ErasedSession); the generic engine in
+//! [`ErasedSession`]; the generic engine in
 //! [`crate::experiment`] then runs it and measures, identically for
 //! every family.
 //!
-//! Four drivers ship today, one per [`crate::experiment::Pipeline`]
+//! Five drivers ship today, one per [`crate::experiment::Pipeline`]
 //! variant:
 //!
 //! | driver | protocol | resilience | predictions |
@@ -19,24 +19,30 @@
 //! | [`AuthWrapperDriver`] | Algorithm 1 over §8 (Theorem 12) | `2t < n` | yes |
 //! | [`PhaseKingDriver`] | early-stopping phase-king baseline | `3t < n` | ignored |
 //! | [`TruncatedDolevStrongDriver`] | full Dolev–Strong baseline | `2t < n` | ignored |
+//! | [`CommEffDriver`] | committee-sampled fast lane + phase-king fallback (Dzulfikar–Gilbert) | `3t < n` | yes |
 //!
-//! This is the extension seam for the related-work pipelines
-//! (communication-efficient and resilient prediction variants): a new
+//! This is the extension seam for the remaining related-work pipelines
+//! (e.g. the resilient prediction variant of Dallot et al.): a new
 //! protocol plugs into every bench, example, and sweep by implementing
-//! this trait and (optionally) gaining a `Pipeline` variant.
+//! this trait and (optionally) gaining a `Pipeline` variant. Since the
+//! runner charges every session its [`ba_sim::WireSize`] byte cost,
+//! each driver's communication profile is measured uniformly alongside
+//! its round count.
 //!
-//! ## Adversary mapping for prediction-free baselines
+//! ## Adversary mapping for drivers without a classification round
 //!
 //! [`AdversaryKind`] names behaviours of the *wrapper* execution model.
-//! The baselines have no classification round to lie in and no schedule
-//! to disrupt, so the kinds degrade to the strongest protocol-agnostic
-//! behaviour available: `ClassifyLiar` becomes silence (its lies have
-//! no audience) and `Disruptor` becomes a 1-round replay coalition —
-//! both documented deviations, chosen over panicking so that sweeps can
+//! The baselines and the communication-efficient pipeline have no
+//! classification round to lie in and no schedule to disrupt, so the
+//! kinds degrade to the strongest protocol-agnostic behaviour
+//! available: `ClassifyLiar` becomes silence (its lies have no
+//! audience) and `Disruptor` becomes a 1-round replay coalition — both
+//! documented deviations, chosen over panicking so that sweeps can
 //! hold the adversary column fixed across pipelines.
 
 use crate::adversaries::ClassifyLiar;
 use crate::experiment::{AdversaryKind, InputPattern};
+use ba_commeff::CommEff;
 use ba_core::{
     AuthWrapper, AuthWrapperMsg, BitVec, MisclassificationReport, PredictionMatrix, UnauthWrapper,
     UnauthWrapperMsg,
@@ -356,6 +362,56 @@ impl ProtocolDriver for TruncatedDolevStrongDriver {
     }
 }
 
+/// Communication-efficient BA with predictions (Dzulfikar–Gilbert):
+/// committee-sampled dissemination in a 5-round fast lane, phase-king
+/// fallback when the predictions prove unreliable (`3t < n`).
+///
+/// Consumes the prediction matrix raw (no Algorithm 2 refinement), so
+/// its probe surface — and therefore its measured `k_A` — is the
+/// prediction string itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommEffDriver;
+
+impl ProtocolDriver for CommEffDriver {
+    fn name(&self) -> &'static str {
+        "comm-eff"
+    }
+
+    fn max_faults(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 3
+    }
+
+    fn uses_predictions(&self) -> bool {
+        true
+    }
+
+    fn max_rounds(&self, _n: usize, t: usize) -> u64 {
+        CommEff::rounds(t) + 2
+    }
+
+    fn build(&self, spec: &SessionSpec<'_>) -> Box<dyn ErasedSession> {
+        let mut honest: BTreeMap<ProcessId, CommEff> = BTreeMap::new();
+        for (slot, id) in spec.honest_slots() {
+            honest.insert(
+                id,
+                CommEff::new(
+                    id,
+                    spec.n,
+                    spec.t,
+                    spec.input_for(slot),
+                    spec.matrix.row(id).clone(),
+                ),
+            );
+        }
+        // No classification round, no schedule: the adversary kinds
+        // degrade exactly like the prediction-free baselines'.
+        let adversary = baseline_adversary(spec.adversary);
+        erase(spec.n, honest, adversary, |p: &CommEff| {
+            Some(bits_of(p.prediction()))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,11 +442,12 @@ mod tests {
 
     #[test]
     fn every_driver_reaches_unanimous_agreement() {
-        let drivers: [&dyn ProtocolDriver; 4] = [
+        let drivers: [&dyn ProtocolDriver; 5] = [
             &UnauthWrapperDriver,
             &AuthWrapperDriver,
             &PhaseKingDriver,
             &TruncatedDolevStrongDriver,
+            &CommEffDriver,
         ];
         let n = 10;
         let (faulty, matrix) = spec_parts(n, 2);
@@ -413,6 +470,7 @@ mod tests {
     fn resilience_bounds_match_protocol_families() {
         assert_eq!(UnauthWrapperDriver.max_faults(10), 3);
         assert_eq!(PhaseKingDriver.max_faults(10), 3);
+        assert_eq!(CommEffDriver.max_faults(10), 3);
         assert_eq!(AuthWrapperDriver.max_faults(10), 4);
         assert_eq!(TruncatedDolevStrongDriver.max_faults(10), 4);
         assert_eq!(UnauthWrapperDriver.max_faults(0), 0);

@@ -15,8 +15,8 @@
 //! prediction-free baselines, and any future driver.
 
 use crate::driver::{
-    k_a_from_probes, AuthWrapperDriver, PhaseKingDriver, ProtocolDriver, SessionSpec,
-    TruncatedDolevStrongDriver, UnauthWrapperDriver,
+    k_a_from_probes, AuthWrapperDriver, CommEffDriver, PhaseKingDriver, ProtocolDriver,
+    SessionSpec, TruncatedDolevStrongDriver, UnauthWrapperDriver,
 };
 use crate::generators::{self, ErrorPlacement, FaultIds};
 use crate::json::{JsonObject, ToJson};
@@ -25,14 +25,16 @@ use ba_sim::{RunReport, Value};
 pub use crate::adversaries::LiarStyle;
 
 /// Which protocol family to run. The first two are the paper's
-/// prediction-consuming pipelines; the last two are the prediction-free
-/// early-stopping baselines they must never lose to (the `min{·, f}`
-/// term of the headline bound).
+/// prediction-consuming pipelines; `PhaseKing` and
+/// `TruncatedDolevStrong` are the prediction-free early-stopping
+/// baselines they must never lose to (the `min{·, f}` term of the
+/// headline bound); `CommEff` is the communication-efficient
+/// prediction pipeline of the Dzulfikar–Gilbert follow-up.
 ///
 /// Marked `#[non_exhaustive]`: this is the planned extension seam
-/// (communication-efficient and resilient prediction variants), so
-/// downstream matches must carry a wildcard arm and new variants are
-/// not breaking changes. Prefer branching on driver capabilities
+/// (e.g. the resilient prediction variant), so downstream matches must
+/// carry a wildcard arm and new variants are not breaking changes.
+/// Prefer branching on driver capabilities
 /// ([`ProtocolDriver::uses_predictions`], [`ProtocolDriver::max_faults`])
 /// over matching variants.
 #[non_exhaustive]
@@ -48,16 +50,41 @@ pub enum Pipeline {
     /// Prediction-free authenticated baseline: full Dolev–Strong
     /// (`k = t`, `t < n/2`).
     TruncatedDolevStrong,
+    /// Communication-efficient prediction pipeline: committee-sampled
+    /// fast lane plus phase-king fallback (`t < n/3`).
+    CommEff,
 }
 
 impl Pipeline {
     /// Every selectable pipeline, in display order.
-    pub const ALL: [Pipeline; 4] = [
+    ///
+    /// Backed by [`Pipeline::ordinal`]'s exhaustive match: adding a
+    /// variant without growing this constant fails to compile (the
+    /// match) and then fails `pipeline_all_is_exhaustive` (the array),
+    /// so sweeps can never silently skip a pipeline.
+    pub const ALL: [Pipeline; 5] = [
         Pipeline::Unauth,
         Pipeline::Auth,
         Pipeline::PhaseKing,
         Pipeline::TruncatedDolevStrong,
+        Pipeline::CommEff,
     ];
+
+    /// This pipeline's index in [`Pipeline::ALL`].
+    ///
+    /// Deliberately an exhaustive in-crate match (no wildcard): a new
+    /// variant is a compile error here until it is given a slot, which
+    /// the `pipeline_all_is_exhaustive` unit test then forces into
+    /// `ALL`.
+    pub const fn ordinal(self) -> usize {
+        match self {
+            Pipeline::Unauth => 0,
+            Pipeline::Auth => 1,
+            Pipeline::PhaseKing => 2,
+            Pipeline::TruncatedDolevStrong => 3,
+            Pipeline::CommEff => 4,
+        }
+    }
 
     /// The driver executing this pipeline.
     pub fn driver(self) -> &'static dyn ProtocolDriver {
@@ -66,6 +93,7 @@ impl Pipeline {
             Pipeline::Auth => &AuthWrapperDriver,
             Pipeline::PhaseKing => &PhaseKingDriver,
             Pipeline::TruncatedDolevStrong => &TruncatedDolevStrongDriver,
+            Pipeline::CommEff => &CommEffDriver,
         }
     }
 
@@ -272,6 +300,8 @@ impl ExperimentConfig {
             rounds: report.last_decision_round,
             messages: report.honest_messages_until_decision,
             messages_total: report.honest_messages,
+            bytes: report.honest_bytes_until_decision,
+            bytes_total: report.honest_bytes,
             agreement: report.agreement(),
             validity_ok,
             b_actual,
@@ -420,6 +450,11 @@ pub struct ExperimentOutcome {
     /// Honest messages over the whole run (including the courtesy
     /// phase).
     pub messages_total: u64,
+    /// Honest bytes on the wire until the last decision
+    /// ([`ba_sim::WireSize`] accounting).
+    pub bytes: u64,
+    /// Honest bytes over the whole run.
+    pub bytes_total: u64,
     /// Whether all honest processes decided on one value.
     pub agreement: bool,
     /// Agreement plus, for unanimous inputs, strong unanimity.
@@ -437,6 +472,8 @@ impl ToJson for ExperimentOutcome {
             .field_opt_u64("rounds", self.rounds)
             .field_u64("messages", self.messages)
             .field_u64("messages_total", self.messages_total)
+            .field_u64("bytes", self.bytes)
+            .field_u64("bytes_total", self.bytes_total)
             .field_bool("agreement", self.agreement)
             .field_bool("validity_ok", self.validity_ok)
             .field_u64("b_actual", self.b_actual as u64)
@@ -448,6 +485,29 @@ impl ToJson for ExperimentOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pipeline_all_is_exhaustive() {
+        // `ordinal` is an exhaustive match, so a new variant cannot
+        // compile without a slot; this test then forces `ALL` to carry
+        // it (an out-of-range ordinal panics, a duplicate fails the
+        // round-trip).
+        for (i, p) in Pipeline::ALL.into_iter().enumerate() {
+            assert_eq!(p.ordinal(), i, "{p:?} out of display order");
+            assert_eq!(Pipeline::ALL[p.ordinal()], p);
+        }
+    }
+
+    #[test]
+    fn comm_eff_experiment_end_to_end() {
+        let cfg = ExperimentConfig::new(16, 5, 2, 0, Pipeline::CommEff);
+        let out = cfg.run();
+        assert!(out.agreement, "perfect predictions, silent faults");
+        assert!(out.validity_ok);
+        assert_eq!(out.rounds, Some(4), "committee fast lane");
+        assert_eq!(out.k_a, 0, "raw predictions are the probe surface");
+        assert!(out.bytes > 0 && out.bytes <= out.bytes_total);
+    }
 
     #[test]
     fn unauth_experiment_end_to_end() {

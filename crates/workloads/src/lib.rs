@@ -10,10 +10,12 @@
 //! * [`adversaries`] — Byzantine strategies against the wrapper
 //!   (prediction liars, replayers, crashers);
 //! * [`driver`] — the [`ProtocolDriver`] trait: each protocol family
-//!   (the paper's two wrapper pipelines plus the prediction-free
-//!   `PhaseKing`/`TruncatedDolevStrong` baselines) builds a type-erased
+//!   (the paper's two wrapper pipelines, the prediction-free
+//!   `PhaseKing`/`TruncatedDolevStrong` baselines, and the
+//!   communication-efficient `CommEff` pipeline) builds a type-erased
 //!   session from a shared [`SessionSpec`], so one generic engine runs
-//!   them all. This is the extension point for future pipelines;
+//!   them all — measuring rounds, messages, *and* bytes uniformly.
+//!   This is the extension point for future pipelines;
 //! * [`experiment`] — the declarative experiment runner on top of the
 //!   drivers: an [`ExperimentConfig`] (built fluently via
 //!   [`ExperimentConfig::builder`] or tweaked with `with_*`
@@ -43,8 +45,8 @@ pub mod tables;
 pub use adversaries::{ClassifyLiar, LiarStyle};
 pub use disruptor::{AuthDisruptor, UnauthDisruptor};
 pub use driver::{
-    k_a_from_probes, AuthWrapperDriver, PhaseKingDriver, ProtocolDriver, SessionSpec,
-    TruncatedDolevStrongDriver, UnauthWrapperDriver,
+    k_a_from_probes, AuthWrapperDriver, CommEffDriver, PhaseKingDriver, ProtocolDriver,
+    SessionSpec, TruncatedDolevStrongDriver, UnauthWrapperDriver,
 };
 pub use experiment::{
     AdversaryKind, ExperimentBuilder, ExperimentConfig, ExperimentOutcome, FaultPlacement,

@@ -32,6 +32,10 @@ pub struct SweepSummary {
     pub messages_max: u64,
     /// Mean honest message count.
     pub messages_mean: f64,
+    /// Worst-case honest byte count (until decision).
+    pub bytes_max: u64,
+    /// Mean honest byte count.
+    pub bytes_mean: f64,
     /// Whether agreement held in every run.
     pub always_agreed: bool,
     /// Whether validity held in every run.
@@ -52,6 +56,8 @@ impl ToJson for SweepSummary {
             .field_f64("rounds_mean", self.rounds_mean)
             .field_u64("messages_max", self.messages_max)
             .field_f64("messages_mean", self.messages_mean)
+            .field_u64("bytes_max", self.bytes_max)
+            .field_f64("bytes_mean", self.bytes_mean)
             .field_bool("always_agreed", self.always_agreed)
             .field_bool("always_valid", self.always_valid)
             .field_f64("k_a_mean", self.k_a_mean)
@@ -83,6 +89,8 @@ pub fn summarize(outcomes: &[ExperimentOutcome]) -> SweepSummary {
         rounds_mean,
         messages_max: outcomes.iter().map(|o| o.messages).max().unwrap_or(0),
         messages_mean: outcomes.iter().map(|o| o.messages).sum::<u64>() as f64 / runs as f64,
+        bytes_max: outcomes.iter().map(|o| o.bytes).max().unwrap_or(0),
+        bytes_mean: outcomes.iter().map(|o| o.bytes).sum::<u64>() as f64 / runs as f64,
         always_agreed: outcomes.iter().all(|o| o.agreement),
         always_valid: outcomes.iter().all(|o| o.validity_ok),
         k_a_mean: outcomes.iter().map(|o| o.k_a).sum::<usize>() as f64 / runs as f64,

@@ -1,13 +1,17 @@
-//! Compare every pipeline — the paper's two wrappers and the
-//! prediction-free baselines — on the same workloads.
+//! Compare every pipeline — the paper's two wrappers, the
+//! prediction-free baselines, and the communication-efficient
+//! follow-up — on the same workloads.
 //!
 //! The unauthenticated pipeline (Theorem 11, `t < n/3`) can only exploit
 //! predictions while `B = O(n^{3/2})`; the authenticated one (Theorem 12,
 //! `t < (1/2 − ε)n`) keeps profiting up to `B = Θ(n²)` and tolerates more
 //! faults — at the cost of signatures everywhere. The baselines
 //! (`Pipeline::PhaseKing`, `Pipeline::TruncatedDolevStrong`) are what
-//! the wrappers must never lose to asymptotically. All four run through
-//! the same `ProtocolDriver` path on identical fault workloads.
+//! the wrappers must never lose to asymptotically, and
+//! `Pipeline::CommEff` (Dzulfikar–Gilbert) shows the same prediction
+//! advantage with far less communication — watch its bytes column
+//! against everyone else's. All five run through the same
+//! `ProtocolDriver` path on identical fault workloads.
 //!
 //! ```sh
 //! cargo run --release --example pipelines_compared
@@ -33,6 +37,7 @@ fn row_for(table: &mut Table, cfg: &ExperimentConfig) {
             .map(|r| r.to_string())
             .unwrap_or_else(|| "-".into()),
         out.messages.to_string(),
+        out.bytes.to_string(),
         out.agreement.to_string(),
     ]);
 }
@@ -44,8 +49,16 @@ fn main() {
     // Common ground: t below n/3 so every pipeline runs.
     let t_common = 7;
     let mut table = Table::new(
-        &format!("same workload, t = {t_common} (all four pipelines legal)"),
-        &["pipeline", "B", "f", "rounds", "messages", "agreement"],
+        &format!("same workload, t = {t_common} (all five pipelines legal)"),
+        &[
+            "pipeline",
+            "B",
+            "f",
+            "rounds",
+            "messages",
+            "bytes",
+            "agreement",
+        ],
     );
     for (budget, f) in [(0usize, 2usize), (48, 2), (0, 6), (96, 6)] {
         for pipeline in Pipeline::ALL {
@@ -67,7 +80,15 @@ fn main() {
     let t_auth = 11;
     let mut high = Table::new(
         &format!("beyond n/3: t = {t_auth} (authenticated family only)"),
-        &["pipeline", "B", "f", "rounds", "messages", "agreement"],
+        &[
+            "pipeline",
+            "B",
+            "f",
+            "rounds",
+            "messages",
+            "bytes",
+            "agreement",
+        ],
     );
     for (budget, f) in [(0usize, 4usize), (64, 10)] {
         for pipeline in [Pipeline::Auth, Pipeline::TruncatedDolevStrong] {

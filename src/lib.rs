@@ -26,6 +26,7 @@
 //! | [`ba_unauth`] | Algorithms 3, 4, 5 (§7) |
 //! | [`ba_auth`] | committee certificates, message chains, Algorithms 6, 7 (§8) |
 //! | [`ba_early`] | early-stopping substrates (S4, S5) and prediction-free baselines |
+//! | [`ba_commeff`] | communication-efficient BA with predictions (Dzulfikar–Gilbert follow-up) |
 //! | [`ba_core`] | predictions, Algorithm 2, `π(c)` orderings, the Algorithm 1 wrapper |
 //! | [`ba_workloads`] | generators, adversary gallery, `ProtocolDriver` experiment harness, parallel sweeps, lower bounds |
 //!
@@ -34,11 +35,15 @@
 //! Every protocol family runs through one seam: a
 //! [`Pipeline`](ba_workloads::Pipeline) names a
 //! [`ProtocolDriver`](ba_workloads::ProtocolDriver) — the paper's
-//! unauthenticated/authenticated wrappers plus the prediction-free
-//! `PhaseKing` and `TruncatedDolevStrong` baselines — and
+//! unauthenticated/authenticated wrappers, the prediction-free
+//! `PhaseKing` and `TruncatedDolevStrong` baselines, and the
+//! communication-efficient `CommEff` pipeline — and
 //! [`ExperimentConfig::run`](ba_workloads::ExperimentConfig::run)
 //! builds, executes, and measures the type-erased session identically
-//! for all of them. Configurations are built fluently
+//! for all of them: rounds, honest messages, and honest bytes
+//! ([`WireSize`](ba_sim::WireSize) accounting), so communication-vs-
+//! rounds trade-offs are comparable across families.
+//! Configurations are built fluently
 //! ([`ExperimentConfig::builder`](ba_workloads::ExperimentConfig::builder),
 //! `with_*` combinators); multi-config comparisons run in parallel via
 //! [`SweepGrid`](ba_workloads::SweepGrid) /
@@ -70,6 +75,7 @@
 //! ```
 
 pub use ba_auth;
+pub use ba_commeff;
 pub use ba_core;
 pub use ba_crypto;
 pub use ba_early;
@@ -84,7 +90,9 @@ pub mod prelude {
     pub use ba_core::{
         AuthWrapper, BitVec, Classify, MisclassificationReport, PredictionMatrix, UnauthWrapper,
     };
-    pub use ba_sim::{ErasedSession, ProcessId, RunReport, Runner, SilentAdversary, Value};
+    pub use ba_sim::{
+        ErasedSession, ProcessId, RunReport, Runner, SilentAdversary, Value, WireSize,
+    };
     pub use ba_workloads::{
         faults, grid_to_json, message_lower_bound, predictions_with_budget, round_lower_bound,
         sweep_grid, sweep_seeds, AdversaryKind, ErrorPlacement, ExperimentBuilder,

@@ -114,6 +114,105 @@ fn dolev_strong_baseline_runs_in_exactly_t_plus_one_rounds() {
 }
 
 #[test]
+fn comm_eff_fast_lane_is_asymptotically_cheaper_than_dolev_strong() {
+    // The Dzulfikar–Gilbert claim, measured: with accurate predictions
+    // and a fixed fault count, the committee fast lane spends
+    // Θ(n · f) constant-size messages while the Dolev–Strong baseline
+    // spends Ω(n²) chain batches — so the totals must separate at
+    // every n and the advantage must *grow* with n.
+    let totals = |pipeline: Pipeline, n: usize| {
+        let out = ExperimentConfig::builder()
+            .n(n)
+            .faults(2, FaultPlacement::Spread)
+            .pipeline(pipeline)
+            .inputs(InputPattern::Unanimous(3))
+            .build()
+            .run();
+        assert!(out.agreement, "{pipeline:?} broke agreement at n = {n}");
+        (out.messages_total, out.bytes_total)
+    };
+    let mut ratios = Vec::new();
+    for n in [16, 32, 64] {
+        let (ce_msgs, ce_bytes) = totals(Pipeline::CommEff, n);
+        let (ds_msgs, ds_bytes) = totals(Pipeline::TruncatedDolevStrong, n);
+        assert!(
+            ce_msgs < ds_msgs,
+            "n = {n}: comm-eff sent {ce_msgs} messages vs dolev-strong {ds_msgs}"
+        );
+        assert!(
+            ce_bytes < ds_bytes,
+            "n = {n}: comm-eff sent {ce_bytes} bytes vs dolev-strong {ds_bytes}"
+        );
+        ratios.push(ds_msgs as f64 / ce_msgs as f64);
+    }
+    assert!(
+        ratios.windows(2).all(|w| w[0] < w[1]),
+        "the message advantage must grow with n (got ratios {ratios:?})"
+    );
+}
+
+#[test]
+fn silent_adversary_never_increases_honest_message_totals() {
+    // Silence is the least disruptive execution-scale behaviour: for
+    // every pipeline, honest processes must spend at least as many
+    // messages (and bytes) against the worst-case disruptor as against
+    // silence on the otherwise-identical workload.
+    for pipeline in Pipeline::ALL {
+        for seed in SEEDS {
+            let silent = conformance_config(pipeline, AdversaryKind::Silent, seed).run();
+            let disrupted = conformance_config(pipeline, AdversaryKind::Disruptor, seed).run();
+            assert!(
+                silent.messages_total <= disrupted.messages_total,
+                "{pipeline:?} (seed {seed}): silent cost {} messages, disruptor {}",
+                silent.messages_total,
+                disrupted.messages_total
+            );
+            assert!(
+                silent.bytes_total <= disrupted.bytes_total,
+                "{pipeline:?} (seed {seed}): silent cost {} bytes, disruptor {}",
+                silent.bytes_total,
+                disrupted.bytes_total
+            );
+        }
+    }
+}
+
+#[test]
+fn every_pipeline_reports_nonzero_communication() {
+    for pipeline in Pipeline::ALL {
+        let out = conformance_config(pipeline, AdversaryKind::Silent, 0).run();
+        assert!(out.messages_total > 0, "{pipeline:?} sent no messages");
+        assert!(out.bytes_total > 0, "{pipeline:?} sent no bytes");
+        assert!(
+            out.bytes_total >= out.messages_total,
+            "{pipeline:?}: every message costs at least one byte"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_counts_messages_and_bytes_identically_to_serial() {
+    let grid = SweepGrid::new(
+        ExperimentConfig::builder()
+            .n(13)
+            .faults(2, FaultPlacement::Spread)
+            .build(),
+    )
+    .ns([10, 13])
+    .budgets([0, 8])
+    .pipelines(Pipeline::ALL)
+    .seeds(0..3);
+    let parallel = sweep_grid(&grid);
+    let serial = ba_workloads::sweep_grid_serial(&grid);
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.summary.messages_max, s.summary.messages_max);
+        assert_eq!(p.summary.messages_mean, s.summary.messages_mean);
+        assert_eq!(p.summary.bytes_max, s.summary.bytes_max);
+        assert_eq!(p.summary.bytes_mean, s.summary.bytes_mean);
+    }
+}
+
+#[test]
 fn parallel_sweep_grid_is_byte_identical_to_serial() {
     let grid = SweepGrid::new(
         ExperimentConfig::builder()
