@@ -434,6 +434,68 @@ mod tests {
     }
 
     #[test]
+    fn equivocating_committee_certifier_forces_the_fallback() {
+        // Active equivocation inside the fast lane: every honest process
+        // predicts the faulty p2 honest (missed detection) and suspects
+        // the honest p9, so the shared committee is {0, 1, 2} with the
+        // Byzantine p2 seated as an aggregator. p2 equivocates its
+        // *report* (5 to evens, 77 to odds), souring half the
+        // acknowledgements so no honest aggregator can certify, and then
+        // sends conflicting *certify* messages to disjoint honest
+        // halves. Every honest process must distrust the fast lane —
+        // uniformly — and the fallback must still reach the unanimous
+        // honest value.
+        use ba_sim::{AdversaryCtx, FnAdversary};
+        let n = 10;
+        let t = 3;
+        let f = faults(&[2]);
+        let mut m = PredictionMatrix::perfect(n, &f);
+        for row in ProcessId::all(n).filter(|p| !f.contains(p)) {
+            m.row_mut(row).set(2, true); // trust the traitor
+            m.row_mut(row).set(9, false); // suspect an innocent
+        }
+        let committee = CommEff::committee_of(m.row(ProcessId(0)));
+        assert_eq!(
+            committee,
+            vec![ProcessId(0), ProcessId(1), ProcessId(2)],
+            "fixture: the faulty process must sit on the committee"
+        );
+        let adv = FnAdversary::new(|ctx: &mut AdversaryCtx<'_, CommEffMsg>| {
+            match ctx.round {
+                // Split the report lane: honest acks come back unhappy.
+                1 => {
+                    for to in ProcessId::all(10) {
+                        let v = if to.0 % 2 == 0 { Value(5) } else { Value(77) };
+                        ctx.send(ProcessId(2), to, CommEffMsg::Report(v));
+                    }
+                }
+                // Conflicting certificates to disjoint honest halves.
+                3 => {
+                    for to in ProcessId::all(10) {
+                        let v = if to.0 < 5 { Value(5) } else { Value(77) };
+                        ctx.send(ProcessId(2), to, CommEffMsg::Commit(v));
+                    }
+                }
+                _ => {}
+            }
+        });
+        let mut runner = Runner::with_ids(n, system(n, t, &f, &m, |_| 5), adv);
+        let report = runner.run(CommEff::rounds(t));
+        assert!(report.agreement(), "equivocation must not split the halves");
+        assert_eq!(report.decision(), Some(&Value(5)), "unanimity survives");
+        for id in ProcessId::all(n).filter(|p| !f.contains(p)) {
+            assert!(
+                runner.process(id).expect("honest").fell_back(),
+                "{id} trusted an equivocated certificate set"
+            );
+        }
+        assert!(
+            report.last_decision_round.expect("decided") > 4,
+            "decision must come from the fallback lane"
+        );
+    }
+
+    #[test]
     fn replayed_traffic_is_inert() {
         let n = 10;
         let f = faults(&[3, 7]);

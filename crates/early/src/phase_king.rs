@@ -110,6 +110,9 @@ pub struct PhaseKing {
     n: usize,
     t: usize,
     phases: usize,
+    /// Explicit king schedule (one entry per phase); `None` falls back
+    /// to the classic identity rotation `p_{phase mod n}`.
+    kings: Option<Arc<[ProcessId]>>,
     value: Value,
     decision: Option<Value>,
     main: Option<UnauthGraded>,
@@ -153,6 +156,7 @@ impl PhaseKing {
             n,
             t,
             phases,
+            kings: None,
             value: input,
             decision: None,
             main: None,
@@ -168,8 +172,40 @@ impl PhaseKing {
         Self::new(me, n, t, input, t + 2)
     }
 
+    /// Creates a state machine with an explicit king schedule: the king
+    /// of phase `p` is `kings[p]`, and the phase budget is
+    /// `kings.len()`. This is the hook prediction-guided protocols (the
+    /// resilient pipeline) use to put trusted identifiers on the throne
+    /// first; safety never depends on the schedule, only liveness does
+    /// (an honest king phase unifies only if every honest process
+    /// agrees who the king is).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3t < n`, the schedule is non-empty, and every
+    /// scheduled king is a valid identifier below `n`.
+    pub fn with_kings(
+        me: ProcessId,
+        n: usize,
+        t: usize,
+        input: Value,
+        kings: Vec<ProcessId>,
+    ) -> Self {
+        assert!(!kings.is_empty(), "king schedule must cover ≥ 1 phase");
+        assert!(
+            kings.iter().all(|k| (k.0 as usize) < n),
+            "king schedule names an identifier outside the system"
+        );
+        let mut pk = Self::new(me, n, t, input, kings.len());
+        pk.kings = Some(kings.into());
+        pk
+    }
+
     fn king_of(&self, phase: usize) -> ProcessId {
-        ProcessId((phase % self.n) as u32)
+        match &self.kings {
+            Some(kings) => kings[phase],
+            None => ProcessId((phase % self.n) as u32),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -505,6 +541,51 @@ mod tests {
         let report = runner.run(80);
         assert!(report.agreement());
         assert_eq!(report.outputs.values().next().unwrap().value, Value(4));
+    }
+
+    #[test]
+    fn explicit_king_schedule_changes_who_unifies_first() {
+        // Split inputs, one silent fault (p3). Under the identity
+        // rotation p0 (honest) is the phase-0 king and the run decides
+        // immediately; with p3 scheduled first, phase 0 stalls and the
+        // honest phase-1 king repairs — exactly one phase later.
+        let n = 7;
+        let t = 2;
+        let run = |kings: Vec<ProcessId>| {
+            let honest: std::collections::BTreeMap<ProcessId, PhaseKing> = (0..n as u32)
+                .filter(|i| *i != 3)
+                .map(|i| {
+                    let id = ProcessId(i);
+                    (
+                        id,
+                        PhaseKing::with_kings(id, n, t, Value(u64::from(i % 2)), kings.clone()),
+                    )
+                })
+                .collect();
+            let mut runner = Runner::with_ids(n, honest, SilentAdversary);
+            let report = runner.run(60);
+            assert!(report.agreement());
+            report.last_decision_round.expect("decided")
+        };
+        let trusted_first = run(vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(4)]);
+        let faulty_first = run(vec![ProcessId(3), ProcessId(0), ProcessId(1), ProcessId(2)]);
+        assert_eq!(
+            faulty_first,
+            trusted_first + 5,
+            "a scheduled faulty king costs exactly one phase"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 phase")]
+    fn empty_king_schedule_is_rejected() {
+        let _ = PhaseKing::with_kings(ProcessId(0), 4, 1, Value(0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the system")]
+    fn out_of_range_king_is_rejected() {
+        let _ = PhaseKing::with_kings(ProcessId(0), 4, 1, Value(0), vec![ProcessId(9)]);
     }
 
     #[test]

@@ -98,6 +98,14 @@ impl ClassifyLiar {
     pub fn auth(self) -> impl Adversary<AuthWrapperMsg> {
         AuthLiar(self)
     }
+
+    /// Adapter for the resilient pipeline's message type — the only
+    /// non-wrapper family with a real classification round to lie in
+    /// (`RandomPerRecipient` there splits the honest suspicion views,
+    /// exercising the schedule's liveness suffix).
+    pub fn resilient(self) -> impl Adversary<ba_resilient::ResilientMsg> {
+        ResilientLiar(self)
+    }
 }
 
 struct UnauthLiar(ClassifyLiar);
@@ -111,6 +119,13 @@ struct AuthLiar(ClassifyLiar);
 impl Adversary<AuthWrapperMsg> for AuthLiar {
     fn act(&mut self, ctx: &mut AdversaryCtx<'_, AuthWrapperMsg>) {
         self.0.emit(ctx, AuthWrapperMsg::Classify);
+    }
+}
+
+struct ResilientLiar(ClassifyLiar);
+impl Adversary<ba_resilient::ResilientMsg> for ResilientLiar {
+    fn act(&mut self, ctx: &mut AdversaryCtx<'_, ba_resilient::ResilientMsg>) {
+        self.0.emit(ctx, ba_resilient::ResilientMsg::Classify);
     }
 }
 

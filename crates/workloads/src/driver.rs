@@ -10,7 +10,7 @@
 //! [`crate::experiment`] then runs it and measures, identically for
 //! every family.
 //!
-//! Five drivers ship today, one per [`crate::experiment::Pipeline`]
+//! Six drivers ship today, one per [`crate::experiment::Pipeline`]
 //! variant:
 //!
 //! | driver | protocol | resilience | predictions |
@@ -20,14 +20,15 @@
 //! | [`PhaseKingDriver`] | early-stopping phase-king baseline | `3t < n` | ignored |
 //! | [`TruncatedDolevStrongDriver`] | full Dolev–Strong baseline | `2t < n` | ignored |
 //! | [`CommEffDriver`] | committee-sampled fast lane + phase-king fallback (Dzulfikar–Gilbert) | `3t < n` | yes |
+//! | [`ResilientDriver`] | suspicion-ordered king rotation (Dallot et al.) | `3t < n` | yes |
 //!
-//! This is the extension seam for the remaining related-work pipelines
-//! (e.g. the resilient prediction variant of Dallot et al.): a new
-//! protocol plugs into every bench, example, and sweep by implementing
-//! this trait and (optionally) gaining a `Pipeline` variant. Since the
-//! runner charges every session its [`ba_sim::WireSize`] byte cost,
-//! each driver's communication profile is measured uniformly alongside
-//! its round count.
+//! This is the extension seam for related-work pipelines (sharded and
+//! batched execution modes are the open ones): a new protocol plugs
+//! into every bench, example, and sweep by implementing this trait and
+//! (optionally) gaining a `Pipeline` variant. Since the runner charges
+//! every session its [`ba_sim::WireSize`] byte cost, each driver's
+//! communication profile is measured uniformly alongside its round
+//! count.
 //!
 //! ## Adversary mapping for drivers without a classification round
 //!
@@ -49,6 +50,7 @@ use ba_core::{
 };
 use ba_crypto::Pki;
 use ba_early::{PhaseKing, PhaseKingOutput, TruncatedDs};
+use ba_resilient::{ResilientBa, ResilientDisruptor};
 use ba_sim::{
     erase, Adversary, ErasedSession, MapOutput, ProcessId, ReplayAdversary, SilentAdversary, Value,
 };
@@ -412,6 +414,66 @@ impl ProtocolDriver for CommEffDriver {
     }
 }
 
+/// Resilient BA with predictions (Dallot et al.): a classification
+/// exchange followed by a phase king whose throne order is the
+/// aggregated suspicion order, so rounds degrade *gracefully* — one
+/// phase per faulty identifier the error budget promotes — instead of
+/// cliff-switching between a fast lane and a fallback (`3t < n`).
+///
+/// This family has a real classification round, so — unlike the
+/// baselines and the committee pipeline — `ClassifyLiar` attacks it
+/// natively, and `Disruptor` maps to the schedule-aware
+/// [`ba_resilient::ResilientDisruptor`] coalition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResilientDriver;
+
+impl ProtocolDriver for ResilientDriver {
+    fn name(&self) -> &'static str {
+        "resilient"
+    }
+
+    fn max_faults(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 3
+    }
+
+    fn uses_predictions(&self) -> bool {
+        true
+    }
+
+    fn max_rounds(&self, _n: usize, t: usize) -> u64 {
+        ResilientBa::rounds(t) + 2
+    }
+
+    fn build(&self, spec: &SessionSpec<'_>) -> Box<dyn ErasedSession> {
+        let mut honest: BTreeMap<ProcessId, ResilientBa> = BTreeMap::new();
+        for (slot, id) in spec.honest_slots() {
+            honest.insert(
+                id,
+                ResilientBa::new(
+                    id,
+                    spec.n,
+                    spec.t,
+                    spec.input_for(slot),
+                    spec.matrix.row(id).clone(),
+                ),
+            );
+        }
+        let adversary: Box<dyn Adversary<ba_resilient::ResilientMsg>> = match spec.adversary {
+            AdversaryKind::Silent => Box::new(SilentAdversary),
+            AdversaryKind::ClassifyLiar(style) => {
+                Box::new(ClassifyLiar::new(spec.n, spec.faulty_vec(), style, spec.seed).resilient())
+            }
+            AdversaryKind::Replay => Box::new(ReplayAdversary::new(1)),
+            AdversaryKind::Disruptor => {
+                Box::new(ResilientDisruptor::new(spec.n, spec.t, spec.faulty_vec()))
+            }
+        };
+        erase(spec.n, honest, adversary, |p: &ResilientBa| {
+            p.classification().map(bits_of)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,12 +504,13 @@ mod tests {
 
     #[test]
     fn every_driver_reaches_unanimous_agreement() {
-        let drivers: [&dyn ProtocolDriver; 5] = [
+        let drivers: [&dyn ProtocolDriver; 6] = [
             &UnauthWrapperDriver,
             &AuthWrapperDriver,
             &PhaseKingDriver,
             &TruncatedDolevStrongDriver,
             &CommEffDriver,
+            &ResilientDriver,
         ];
         let n = 10;
         let (faulty, matrix) = spec_parts(n, 2);
@@ -471,6 +534,7 @@ mod tests {
         assert_eq!(UnauthWrapperDriver.max_faults(10), 3);
         assert_eq!(PhaseKingDriver.max_faults(10), 3);
         assert_eq!(CommEffDriver.max_faults(10), 3);
+        assert_eq!(ResilientDriver.max_faults(10), 3);
         assert_eq!(AuthWrapperDriver.max_faults(10), 4);
         assert_eq!(TruncatedDolevStrongDriver.max_faults(10), 4);
         assert_eq!(UnauthWrapperDriver.max_faults(0), 0);

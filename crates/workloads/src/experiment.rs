@@ -16,7 +16,7 @@
 
 use crate::driver::{
     k_a_from_probes, AuthWrapperDriver, CommEffDriver, PhaseKingDriver, ProtocolDriver,
-    SessionSpec, TruncatedDolevStrongDriver, UnauthWrapperDriver,
+    ResilientDriver, SessionSpec, TruncatedDolevStrongDriver, UnauthWrapperDriver,
 };
 use crate::generators::{self, ErrorPlacement, FaultIds};
 use crate::json::{JsonObject, ToJson};
@@ -29,12 +29,14 @@ pub use crate::adversaries::LiarStyle;
 /// `TruncatedDolevStrong` are the prediction-free early-stopping
 /// baselines they must never lose to (the `min{·, f}` term of the
 /// headline bound); `CommEff` is the communication-efficient
-/// prediction pipeline of the Dzulfikar–Gilbert follow-up.
+/// prediction pipeline of the Dzulfikar–Gilbert follow-up; `Resilient`
+/// is the gracefully-degrading prediction pipeline of the Dallot et al.
+/// follow-up.
 ///
-/// Marked `#[non_exhaustive]`: this is the planned extension seam
-/// (e.g. the resilient prediction variant), so downstream matches must
-/// carry a wildcard arm and new variants are not breaking changes.
-/// Prefer branching on driver capabilities
+/// Marked `#[non_exhaustive]`: this is the extension seam (sharded and
+/// batched execution modes are the open directions), so downstream
+/// matches must carry a wildcard arm and new variants are not breaking
+/// changes. Prefer branching on driver capabilities
 /// ([`ProtocolDriver::uses_predictions`], [`ProtocolDriver::max_faults`])
 /// over matching variants.
 #[non_exhaustive]
@@ -53,6 +55,11 @@ pub enum Pipeline {
     /// Communication-efficient prediction pipeline: committee-sampled
     /// fast lane plus phase-king fallback (`t < n/3`).
     CommEff,
+    /// Gracefully-degrading prediction pipeline: one classification
+    /// exchange, then phase king in aggregated-suspicion throne order —
+    /// rounds cost one phase per faulty identifier the error budget
+    /// promotes, instead of cliff-switching lanes (`t < n/3`).
+    Resilient,
 }
 
 impl Pipeline {
@@ -62,12 +69,13 @@ impl Pipeline {
     /// variant without growing this constant fails to compile (the
     /// match) and then fails `pipeline_all_is_exhaustive` (the array),
     /// so sweeps can never silently skip a pipeline.
-    pub const ALL: [Pipeline; 5] = [
+    pub const ALL: [Pipeline; 6] = [
         Pipeline::Unauth,
         Pipeline::Auth,
         Pipeline::PhaseKing,
         Pipeline::TruncatedDolevStrong,
         Pipeline::CommEff,
+        Pipeline::Resilient,
     ];
 
     /// This pipeline's index in [`Pipeline::ALL`].
@@ -83,6 +91,7 @@ impl Pipeline {
             Pipeline::PhaseKing => 2,
             Pipeline::TruncatedDolevStrong => 3,
             Pipeline::CommEff => 4,
+            Pipeline::Resilient => 5,
         }
     }
 
@@ -94,12 +103,48 @@ impl Pipeline {
             Pipeline::PhaseKing => &PhaseKingDriver,
             Pipeline::TruncatedDolevStrong => &TruncatedDolevStrongDriver,
             Pipeline::CommEff => &CommEffDriver,
+            Pipeline::Resilient => &ResilientDriver,
         }
     }
 
     /// Stable display name (delegates to the driver).
     pub fn name(self) -> &'static str {
         self.driver().name()
+    }
+
+    /// The family's resilience bound, as printed in the driver
+    /// comparison table ([`crate::tables::driver_table`]).
+    pub const fn resilience_shape(self) -> &'static str {
+        match self {
+            Pipeline::Unauth | Pipeline::PhaseKing | Pipeline::CommEff | Pipeline::Resilient => {
+                "3t < n"
+            }
+            Pipeline::Auth | Pipeline::TruncatedDolevStrong => "2t < n",
+        }
+    }
+
+    /// The family's round-complexity shape, as printed in the driver
+    /// comparison table ([`crate::tables::driver_table`]).
+    pub const fn round_shape(self) -> &'static str {
+        match self {
+            Pipeline::Unauth | Pipeline::Auth => "O(min{B/n + 1, f})",
+            Pipeline::PhaseKing => "O(f)",
+            Pipeline::TruncatedDolevStrong => "t + 1",
+            Pipeline::CommEff => "5 fast / O(t) fallback",
+            Pipeline::Resilient => "O(promoted(B) + 1), ≤ 2t + 3 phases",
+        }
+    }
+
+    /// The family's communication shape, as printed in the driver
+    /// comparison table ([`crate::tables::driver_table`]).
+    pub const fn comm_shape(self) -> &'static str {
+        match self {
+            Pipeline::Unauth | Pipeline::PhaseKing => "O(f·n²)",
+            Pipeline::Auth => "O(n²) chain batches",
+            Pipeline::TruncatedDolevStrong => "Ω(n²) chain batches",
+            Pipeline::CommEff => "Θ(n·f̂) fast lane",
+            Pipeline::Resilient => "O((promoted(B) + 1)·n²)",
+        }
     }
 }
 
@@ -499,6 +544,20 @@ mod tests {
     }
 
     #[test]
+    fn resilience_shape_matches_the_driver_bound() {
+        // The display string and the executable bound must agree, so
+        // the driver table cannot rot against the code.
+        for pipeline in Pipeline::ALL {
+            let expected = match pipeline.driver().max_faults(13) {
+                4 => "3t < n",
+                6 => "2t < n",
+                other => panic!("{pipeline:?}: unclassified bound t = {other} at n = 13"),
+            };
+            assert_eq!(pipeline.resilience_shape(), expected, "{pipeline:?}");
+        }
+    }
+
+    #[test]
     fn comm_eff_experiment_end_to_end() {
         let cfg = ExperimentConfig::new(16, 5, 2, 0, Pipeline::CommEff);
         let out = cfg.run();
@@ -507,6 +566,39 @@ mod tests {
         assert_eq!(out.rounds, Some(4), "committee fast lane");
         assert_eq!(out.k_a, 0, "raw predictions are the probe surface");
         assert!(out.bytes > 0 && out.bytes <= out.bytes_total);
+    }
+
+    #[test]
+    fn resilient_experiment_end_to_end() {
+        let cfg = ExperimentConfig::new(16, 5, 2, 0, Pipeline::Resilient);
+        let out = cfg.run();
+        assert!(out.agreement, "perfect predictions, silent faults");
+        assert!(out.validity_ok);
+        assert_eq!(
+            out.k_a, 0,
+            "aggregated majority classification is the probe surface"
+        );
+        assert!(
+            out.rounds.expect("decided") <= 1 + 2 * 5 + 1,
+            "trusted throne order decides in the first phases"
+        );
+        assert!(out.bytes > 0 && out.bytes <= out.bytes_total);
+    }
+
+    #[test]
+    fn resilient_classify_liar_cannot_break_agreement() {
+        for style in [
+            LiarStyle::AllOnes,
+            LiarStyle::AllZeros,
+            LiarStyle::Inverted,
+            LiarStyle::RandomPerRecipient,
+        ] {
+            let cfg = ExperimentConfig::new(16, 5, 3, 10, Pipeline::Resilient)
+                .with_adversary(AdversaryKind::ClassifyLiar(style));
+            let out = cfg.run();
+            assert!(out.agreement, "{style:?} broke agreement");
+            assert!(out.rounds.is_some(), "{style:?} broke liveness");
+        }
     }
 
     #[test]

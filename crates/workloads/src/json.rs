@@ -86,6 +86,14 @@ impl JsonObject {
         }
     }
 
+    /// Appends an optional float field (`null` when absent).
+    pub fn field_opt_f64(self, key: &str, v: Option<f64>) -> Self {
+        match v {
+            Some(v) => self.field_f64(key, v),
+            None => self.field_raw(key, "null"),
+        }
+    }
+
     /// Appends a float field (`null` for non-finite values, which JSON
     /// cannot represent).
     pub fn field_f64(self, key: &str, v: f64) -> Self {
@@ -138,10 +146,12 @@ mod tests {
             .field_f64("c_bad", f64::NAN)
             .field_bool("d", false)
             .field_str("e", "x\"y\\z\n")
+            .field_opt_f64("f", Some(0.5))
+            .field_opt_f64("g", None)
             .finish();
         assert_eq!(
             json,
-            r#"{"a":3,"b":null,"c":1.5,"c_bad":null,"d":false,"e":"x\"y\\z\n"}"#
+            r#"{"a":3,"b":null,"c":1.5,"c_bad":null,"d":false,"e":"x\"y\\z\n","f":0.5,"g":null}"#
         );
     }
 

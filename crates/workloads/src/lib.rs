@@ -11,8 +11,9 @@
 //!   (prediction liars, replayers, crashers);
 //! * [`driver`] — the [`ProtocolDriver`] trait: each protocol family
 //!   (the paper's two wrapper pipelines, the prediction-free
-//!   `PhaseKing`/`TruncatedDolevStrong` baselines, and the
-//!   communication-efficient `CommEff` pipeline) builds a type-erased
+//!   `PhaseKing`/`TruncatedDolevStrong` baselines, the
+//!   communication-efficient `CommEff` pipeline, and the
+//!   gracefully-degrading `Resilient` pipeline) builds a type-erased
 //!   session from a shared [`SessionSpec`], so one generic engine runs
 //!   them all — measuring rounds, messages, *and* bytes uniformly.
 //!   This is the extension point for future pipelines;
@@ -46,7 +47,7 @@ pub use adversaries::{ClassifyLiar, LiarStyle};
 pub use disruptor::{AuthDisruptor, UnauthDisruptor};
 pub use driver::{
     k_a_from_probes, AuthWrapperDriver, CommEffDriver, PhaseKingDriver, ProtocolDriver,
-    SessionSpec, TruncatedDolevStrongDriver, UnauthWrapperDriver,
+    ResilientDriver, SessionSpec, TruncatedDolevStrongDriver, UnauthWrapperDriver,
 };
 pub use experiment::{
     AdversaryKind, ExperimentBuilder, ExperimentConfig, ExperimentOutcome, FaultPlacement,
@@ -60,4 +61,4 @@ pub use sweep::{
     correlation, fit_power_law, grid_to_json, summarize, sweep_grid, sweep_grid_serial,
     sweep_seeds, GridPoint, SweepGrid, SweepSummary,
 };
-pub use tables::Table;
+pub use tables::{driver_table, Table};

@@ -17,6 +17,12 @@ use crate::json::{to_json_array, JsonObject, ToJson};
 use crate::par::par_map;
 
 /// Aggregated results of one configuration across seeds.
+///
+/// Denominator convention: every `*_mean` field divides by the **total**
+/// number of runs. `rounds_mean` is therefore only defined when every
+/// run decided; if any run violated liveness it is `None` (exactly like
+/// `rounds_max`/`rounds_min`), never a partial average or a fake `0.0`
+/// that would read as instant agreement in grid JSON.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepSummary {
     /// Number of seeds run.
@@ -26,8 +32,9 @@ pub struct SweepSummary {
     pub rounds_max: Option<u64>,
     /// Best-case rounds.
     pub rounds_min: Option<u64>,
-    /// Mean rounds.
-    pub rounds_mean: f64,
+    /// Mean rounds over all runs (`None` if any run failed to decide,
+    /// like `rounds_max`).
+    pub rounds_mean: Option<f64>,
     /// Worst-case honest message count (until decision).
     pub messages_max: u64,
     /// Mean honest message count.
@@ -42,9 +49,16 @@ pub struct SweepSummary {
     pub always_valid: bool,
     /// Mean realized misclassification count `k_A`.
     pub k_a_mean: f64,
-    /// The realized error budget (identical across seeds when the
-    /// placement is budget-exact).
+    /// The **maximum** realized error budget across seeds. Budget-exact
+    /// placements spend the same `B` for every seed
+    /// (`b_actual_uniform = true`); saturating or capacity-limited
+    /// generators may not, and the maximum is the conservative summary
+    /// of how much error the cell was exposed to.
     pub b_actual: usize,
+    /// Whether every seed realized the same error budget. `false` flags
+    /// a non-budget-exact generator that would otherwise masquerade as
+    /// exact.
+    pub b_actual_uniform: bool,
 }
 
 impl ToJson for SweepSummary {
@@ -53,7 +67,7 @@ impl ToJson for SweepSummary {
             .field_u64("runs", self.runs as u64)
             .field_opt_u64("rounds_max", self.rounds_max)
             .field_opt_u64("rounds_min", self.rounds_min)
-            .field_f64("rounds_mean", self.rounds_mean)
+            .field_opt_f64("rounds_mean", self.rounds_mean)
             .field_u64("messages_max", self.messages_max)
             .field_f64("messages_mean", self.messages_mean)
             .field_u64("bytes_max", self.bytes_max)
@@ -62,6 +76,7 @@ impl ToJson for SweepSummary {
             .field_bool("always_valid", self.always_valid)
             .field_f64("k_a_mean", self.k_a_mean)
             .field_u64("b_actual", self.b_actual as u64)
+            .field_bool("b_actual_uniform", self.b_actual_uniform)
             .finish()
     }
 }
@@ -75,18 +90,19 @@ pub fn sweep_seeds(cfg: &ExperimentConfig, seeds: impl IntoIterator<Item = u64>)
     summarize(&outcomes)
 }
 
-/// Aggregates a set of outcomes.
+/// Aggregates a set of outcomes (see [`SweepSummary`] for the
+/// denominator and `b_actual` conventions).
 pub fn summarize(outcomes: &[ExperimentOutcome]) -> SweepSummary {
     assert!(!outcomes.is_empty(), "cannot summarize zero runs");
     let runs = outcomes.len();
     let all_decided = outcomes.iter().all(|o| o.rounds.is_some());
     let rounds: Vec<u64> = outcomes.iter().filter_map(|o| o.rounds).collect();
-    let rounds_mean = rounds.iter().sum::<u64>() as f64 / rounds.len().max(1) as f64;
+    let b_actual = outcomes.iter().map(|o| o.b_actual).max().unwrap_or(0);
     SweepSummary {
         runs,
         rounds_max: all_decided.then(|| rounds.iter().copied().max().unwrap_or(0)),
         rounds_min: all_decided.then(|| rounds.iter().copied().min().unwrap_or(0)),
-        rounds_mean,
+        rounds_mean: all_decided.then(|| rounds.iter().sum::<u64>() as f64 / runs as f64),
         messages_max: outcomes.iter().map(|o| o.messages).max().unwrap_or(0),
         messages_mean: outcomes.iter().map(|o| o.messages).sum::<u64>() as f64 / runs as f64,
         bytes_max: outcomes.iter().map(|o| o.bytes).max().unwrap_or(0),
@@ -94,7 +110,8 @@ pub fn summarize(outcomes: &[ExperimentOutcome]) -> SweepSummary {
         always_agreed: outcomes.iter().all(|o| o.agreement),
         always_valid: outcomes.iter().all(|o| o.validity_ok),
         k_a_mean: outcomes.iter().map(|o| o.k_a).sum::<usize>() as f64 / runs as f64,
-        b_actual: outcomes.first().map(|o| o.b_actual).unwrap_or(0),
+        b_actual,
+        b_actual_uniform: outcomes.iter().all(|o| o.b_actual == b_actual),
     }
 }
 
@@ -148,6 +165,27 @@ impl SweepGrid {
             seeds: vec![base.seed],
             base,
         }
+    }
+
+    /// The canonical grid behind the repository's `BENCH_*.json`
+    /// trajectory files: every pipeline family over a small
+    /// `n × B × f` cube, three seeds per cell.
+    /// `examples/sweep_grid_json.rs` produces it (CI's `BENCH_ci.json`)
+    /// and `examples/bench_trajectory_diff.rs` regenerates it for the
+    /// warn-only baseline diff — both must describe the same grid, so
+    /// it is defined exactly once, here.
+    pub fn bench_default() -> Self {
+        SweepGrid::new(
+            ExperimentConfig::builder()
+                .n(16)
+                .faults(2, crate::generators::FaultIds::Spread)
+                .build(),
+        )
+        .ns([13, 16, 24])
+        .budgets([0, 16, 64])
+        .fs([0, 2, 4])
+        .pipelines(Pipeline::ALL)
+        .seeds(0..3)
     }
 
     /// Sets the system-size axis.
@@ -336,8 +374,75 @@ mod tests {
         assert!(summary.always_agreed);
         assert!(summary.rounds_max.is_some());
         assert!(summary.rounds_min <= summary.rounds_max);
-        assert!(summary.rounds_mean > 0.0);
+        assert!(summary.rounds_mean.expect("all decided") > 0.0);
         assert_eq!(summary.b_actual, 12);
+        assert!(summary.b_actual_uniform, "exact placements spend B evenly");
+    }
+
+    #[test]
+    fn livelock_cells_report_null_round_statistics() {
+        // Regression: a cell where no (or not every) run decides must
+        // not report rounds_mean = 0.0 — that reads as instant
+        // agreement in grid JSON. All round statistics go to None/null.
+        let decided = ExperimentConfig::new(10, 3, 1, 0, Pipeline::Unauth).run();
+        assert!(decided.rounds.is_some(), "fixture must decide");
+        let livelocked = ExperimentOutcome {
+            rounds: None,
+            ..decided
+        };
+
+        let all_stuck = summarize(&[livelocked, livelocked]);
+        assert_eq!(all_stuck.rounds_mean, None);
+        assert_eq!(all_stuck.rounds_max, None);
+        let json = all_stuck.to_json();
+        assert!(
+            json.contains("\"rounds_mean\":null"),
+            "livelock must serialize as null, got {json}"
+        );
+
+        // One stuck run poisons the mean exactly like it poisons the max.
+        let partial = summarize(&[decided, livelocked]);
+        assert_eq!(partial.rounds_mean, None);
+
+        let healthy = summarize(&[decided, decided]);
+        assert_eq!(
+            healthy.rounds_mean,
+            Some(decided.rounds.unwrap() as f64),
+            "all-decided cells average over all runs"
+        );
+    }
+
+    #[test]
+    fn non_uniform_b_actual_is_surfaced_not_masked() {
+        // Regression: `b_actual` used to silently report the first
+        // seed's spend; a saturating generator could masquerade as
+        // budget-exact. Now the summary reports the maximum and flags
+        // the disagreement.
+        let base = ExperimentConfig::new(10, 3, 1, 4, Pipeline::Unauth).run();
+        let other = ExperimentOutcome {
+            b_actual: 9,
+            ..base
+        };
+        let summary = summarize(&[base, other]);
+        assert_eq!(summary.b_actual, 9, "maximum across seeds");
+        assert!(!summary.b_actual_uniform);
+        assert!(summary.to_json().contains("\"b_actual_uniform\":false"));
+    }
+
+    #[test]
+    fn bench_default_grid_covers_every_pipeline_family() {
+        // The CI bench-json job greps BENCH_ci.json for family names;
+        // the exhaustive guarantee lives here, next to Pipeline::ALL,
+        // where a forgotten variant is a test failure instead of a
+        // silently ungated artifact.
+        let configs = SweepGrid::bench_default().configs();
+        for pipeline in Pipeline::ALL {
+            assert!(
+                configs.iter().any(|c| c.pipeline == pipeline),
+                "{} has no cells in the bench grid",
+                pipeline.name()
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,15 @@
-//! Markdown table rendering for the bench harnesses.
+//! Markdown table rendering for the bench harnesses, plus the canonical
+//! driver comparison table.
 //!
 //! Every experiment harness (E1–E9) prints its results as a GitHub-style
 //! markdown table so the output can be pasted directly into
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. [`driver_table`] renders the one-row-per-pipeline
+//! family overview (resilience, prediction use, round/communication
+//! shapes); because it iterates [`Pipeline::ALL`], a new protocol
+//! family appears in it the moment its variant lands — the table cannot
+//! rot behind the code.
+
+use crate::experiment::Pipeline;
 
 /// A simple column-aligned markdown table builder.
 #[derive(Clone, Debug)]
@@ -67,6 +74,37 @@ impl Table {
     }
 }
 
+/// The canonical protocol-family comparison: one row per
+/// [`Pipeline::ALL`] entry with its resilience bound, prediction use,
+/// and round/communication shapes.
+pub fn driver_table() -> Table {
+    let mut t = Table::new(
+        "protocol families",
+        &[
+            "pipeline",
+            "resilience",
+            "predictions",
+            "rounds",
+            "communication",
+        ],
+    );
+    for pipeline in Pipeline::ALL {
+        let driver = pipeline.driver();
+        t.row([
+            driver.name(),
+            pipeline.resilience_shape(),
+            if driver.uses_predictions() {
+                "yes"
+            } else {
+                "ignored"
+            },
+            pipeline.round_shape(),
+            pipeline.comm_shape(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +124,19 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn driver_table_lists_every_pipeline_family() {
+        let rendered = driver_table().render();
+        for pipeline in Pipeline::ALL {
+            assert!(
+                rendered.contains(pipeline.name()),
+                "driver table is missing {}",
+                pipeline.name()
+            );
+        }
+        assert!(rendered.contains("resilient"));
+        assert!(rendered.contains("2t < n"), "auth families present");
     }
 }

@@ -1,0 +1,152 @@
+//! Warn-only benchmark-trajectory diffing: compare a freshly produced
+//! sweep grid against the committed `BENCH_baseline.json`, so perf
+//! drift across commits is *visible* in CI logs before it is ever a
+//! gate.
+//!
+//! ```sh
+//! cargo run --release --example bench_trajectory_diff                # regenerate + diff
+//! cargo run --release --example bench_trajectory_diff BENCH_ci.json  # diff an existing file
+//! cargo run --release --example bench_trajectory_diff FRESH.json BASELINE.json
+//! ```
+//!
+//! Cells are keyed by `(pipeline, n, f, budget)`; for each key present
+//! in both files the summaries are compared field by field, and added /
+//! removed cells are listed. The exit code is always 0 — this is a
+//! trajectory report, not (yet) a regression gate; see ROADMAP.
+
+use ba_predictions::prelude::*;
+
+/// Splits a JSON array of objects into the objects' raw text (depth
+/// scan; no string in the grid JSON contains braces).
+fn split_objects(json: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, c) in json.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(&json[start.expect("open brace")..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Extracts the raw value of a top-level `"key":` in `obj` (numbers,
+/// strings, bools, null, or a nested object).
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = &obj[at..];
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' if depth > 0 => depth -= 1,
+            ',' | '}' | ']' if depth == 0 => return Some(&rest[..i]),
+            _ => {}
+        }
+    }
+    Some(rest)
+}
+
+fn cell_key(obj: &str) -> String {
+    let get = |k| field(obj, k).unwrap_or("?").trim().to_string();
+    format!(
+        "pipeline={} n={} f={} budget={}",
+        get("pipeline"),
+        get("n"),
+        get("f"),
+        get("budget")
+    )
+}
+
+fn grid_json() -> String {
+    // The same canonical grid `examples/sweep_grid_json.rs` emits, so a
+    // no-argument run always diffs like-for-like cells.
+    grid_to_json(&sweep_grid(&SweepGrid::bench_default()))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let fresh = match args.next() {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read fresh grid {path}: {e}")),
+        None => grid_json(),
+    };
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".into());
+    let Ok(baseline) = std::fs::read_to_string(&baseline_path) else {
+        println!("WARN: no committed baseline at {baseline_path}; nothing to diff against");
+        return;
+    };
+
+    let fresh_cells: Vec<&str> = split_objects(&fresh);
+    let base_cells: Vec<&str> = split_objects(&baseline);
+    let fresh_map: std::collections::BTreeMap<String, &str> =
+        fresh_cells.iter().map(|o| (cell_key(o), *o)).collect();
+    let base_map: std::collections::BTreeMap<String, &str> =
+        base_cells.iter().map(|o| (cell_key(o), *o)).collect();
+
+    let watched = [
+        "rounds_max",
+        "rounds_mean",
+        "messages_mean",
+        "bytes_mean",
+        "k_a_mean",
+        "always_agreed",
+        "always_valid",
+    ];
+    let mut drifted = 0usize;
+    for (key, fresh_obj) in &fresh_map {
+        match base_map.get(key) {
+            None => {
+                drifted += 1;
+                println!("WARN: new cell (not in baseline): {key}");
+            }
+            Some(base_obj) => {
+                let fs = field(fresh_obj, "summary").unwrap_or("");
+                let bs = field(base_obj, "summary").unwrap_or("");
+                let changes: Vec<String> = watched
+                    .iter()
+                    .filter_map(|k| {
+                        let (f, b) = (field(fs, k)?.trim(), field(bs, k)?.trim());
+                        (f != b).then(|| format!("{k}: {b} -> {f}"))
+                    })
+                    .collect();
+                if !changes.is_empty() {
+                    drifted += 1;
+                    println!("WARN: drift at {key}: {}", changes.join(", "));
+                }
+            }
+        }
+    }
+    for key in base_map.keys() {
+        if !fresh_map.contains_key(key) {
+            drifted += 1;
+            println!("WARN: cell disappeared from the grid: {key}");
+        }
+    }
+    if drifted == 0 {
+        println!(
+            "trajectory clean: {} cells match {baseline_path}",
+            fresh_map.len()
+        );
+    } else {
+        println!(
+            "trajectory drift in {drifted}/{} cells vs {baseline_path} (warn-only; refresh the \
+             baseline with `cargo run --release --example sweep_grid_json BENCH_baseline.json` \
+             if the drift is intended)",
+            fresh_map.len()
+        );
+    }
+}

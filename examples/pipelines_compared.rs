@@ -1,17 +1,20 @@
 //! Compare every pipeline — the paper's two wrappers, the
-//! prediction-free baselines, and the communication-efficient
-//! follow-up — on the same workloads.
+//! prediction-free baselines, and both follow-up families — on the
+//! same workloads.
 //!
 //! The unauthenticated pipeline (Theorem 11, `t < n/3`) can only exploit
 //! predictions while `B = O(n^{3/2})`; the authenticated one (Theorem 12,
 //! `t < (1/2 − ε)n`) keeps profiting up to `B = Θ(n²)` and tolerates more
 //! faults — at the cost of signatures everywhere. The baselines
 //! (`Pipeline::PhaseKing`, `Pipeline::TruncatedDolevStrong`) are what
-//! the wrappers must never lose to asymptotically, and
-//! `Pipeline::CommEff` (Dzulfikar–Gilbert) shows the same prediction
-//! advantage with far less communication — watch its bytes column
-//! against everyone else's. All five run through the same
-//! `ProtocolDriver` path on identical fault workloads.
+//! the wrappers must never lose to asymptotically; `Pipeline::CommEff`
+//! (Dzulfikar–Gilbert) shows the same prediction advantage with far
+//! less communication — watch its bytes column against everyone
+//! else's — and `Pipeline::Resilient` (Dallot et al.) trades that
+//! economy for *graceful* rounds: its cost climbs one phase per faulty
+//! identifier the error budget corrupts instead of cliff-switching into
+//! a fallback. All six run through the same `ProtocolDriver` path on
+//! identical fault workloads.
 //!
 //! ```sh
 //! cargo run --release --example pipelines_compared
@@ -44,12 +47,13 @@ fn row_for(table: &mut Table, cfg: &ExperimentConfig) {
 
 fn main() {
     let n = 24;
-    println!("Pipelines compared at n = {n}\n");
+    println!("Pipelines compared at n = {n}");
+    driver_table().print();
 
     // Common ground: t below n/3 so every pipeline runs.
     let t_common = 7;
     let mut table = Table::new(
-        &format!("same workload, t = {t_common} (all five pipelines legal)"),
+        &format!("same workload, t = {t_common} (all six pipelines legal)"),
         &[
             "pipeline",
             "B",

@@ -11,18 +11,10 @@
 use ba_predictions::prelude::*;
 
 fn main() {
-    let grid = SweepGrid::new(
-        ExperimentConfig::builder()
-            .n(16)
-            .faults(2, FaultPlacement::Spread)
-            .build(),
-    )
-    .ns([13, 16, 24])
-    .budgets([0, 16, 64])
-    .fs([0, 2, 4])
-    .pipelines(Pipeline::ALL)
-    .seeds(0..3);
-
+    // The canonical bench grid — shared with bench_trajectory_diff so
+    // the produced file and the baseline diff always describe the same
+    // cells.
+    let grid = SweepGrid::bench_default();
     let points = sweep_grid(&grid);
     assert!(
         points.iter().all(|p| p.summary.always_agreed),

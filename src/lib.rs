@@ -27,6 +27,7 @@
 //! | [`ba_auth`] | committee certificates, message chains, Algorithms 6, 7 (§8) |
 //! | [`ba_early`] | early-stopping substrates (S4, S5) and prediction-free baselines |
 //! | [`ba_commeff`] | communication-efficient BA with predictions (Dzulfikar–Gilbert follow-up) |
+//! | [`ba_resilient`] | gracefully-degrading BA with predictions (Dallot et al. follow-up) |
 //! | [`ba_core`] | predictions, Algorithm 2, `π(c)` orderings, the Algorithm 1 wrapper |
 //! | [`ba_workloads`] | generators, adversary gallery, `ProtocolDriver` experiment harness, parallel sweeps, lower bounds |
 //!
@@ -34,24 +35,39 @@
 //!
 //! Every protocol family runs through one seam: a
 //! [`Pipeline`](ba_workloads::Pipeline) names a
-//! [`ProtocolDriver`](ba_workloads::ProtocolDriver) — the paper's
-//! unauthenticated/authenticated wrappers, the prediction-free
-//! `PhaseKing` and `TruncatedDolevStrong` baselines, and the
-//! communication-efficient `CommEff` pipeline — and
+//! [`ProtocolDriver`](ba_workloads::ProtocolDriver), and
 //! [`ExperimentConfig::run`](ba_workloads::ExperimentConfig::run)
 //! builds, executes, and measures the type-erased session identically
 //! for all of them: rounds, honest messages, and honest bytes
 //! ([`WireSize`](ba_sim::WireSize) accounting), so communication-vs-
-//! rounds trade-offs are comparable across families.
+//! rounds trade-offs are comparable across families. Six families
+//! ship; the authoritative comparison table is rendered live by
+//! [`driver_table`](ba_workloads::driver_table) (it iterates
+//! `Pipeline::ALL` and the shape strings it prints, so it cannot rot —
+//! run `examples/pipelines_compared.rs` to see it). A snapshot:
+//!
+//! | pipeline | predictions | rounds | communication |
+//! |---|---|---|---|
+//! | `Unauth` (Thm 11, `3t < n`) | yes | `O(min{B/n + 1, f})` | `O(f·n²)` |
+//! | `Auth` (Thm 12, `2t < n`) | yes | `O(min{B/n + 1, f})` | `O(n²)` chain batches |
+//! | `PhaseKing` baseline (`3t < n`) | ignored | `O(f)` | `O(f·n²)` |
+//! | `TruncatedDolevStrong` baseline (`2t < n`) | ignored | `t + 1` | `Ω(n²)` chain batches |
+//! | `CommEff` (Dzulfikar–Gilbert, `3t < n`) | yes | 5 fast / `O(t)` fallback | `Θ(n·f̂)` fast lane |
+//! | `Resilient` (Dallot et al., `3t < n`) | yes | `O(promoted(B) + 1)`, ≤ `2t + 3` phases | `O((promoted(B) + 1)·n²)` |
+//!
+//! The two lanes of the trade-off space: `CommEff` buys *communication*
+//! and pays a fallback cliff when the hints betray it; `Resilient` buys
+//! *round* degradation proportional to the realized error — each faulty
+//! identifier the budget promotes up its suspicion-ordered throne
+//! schedule costs exactly one stalled phase — and never cliffs.
 //! Configurations are built fluently
 //! ([`ExperimentConfig::builder`](ba_workloads::ExperimentConfig::builder),
 //! `with_*` combinators); multi-config comparisons run in parallel via
 //! [`SweepGrid`](ba_workloads::SweepGrid) /
 //! [`sweep_grid`](ba_workloads::sweep_grid) with deterministic output,
 //! serializable to JSON ([`ToJson`](ba_workloads::ToJson)). New
-//! protocol variants (e.g. the communication-efficient or resilient
-//! prediction pipelines from follow-up work) plug in by implementing
-//! `ProtocolDriver`.
+//! protocol variants (sharded or batched execution modes) plug in by
+//! implementing `ProtocolDriver`.
 //!
 //! ## Quickstart
 //!
@@ -80,6 +96,7 @@ pub use ba_core;
 pub use ba_crypto;
 pub use ba_early;
 pub use ba_graded;
+pub use ba_resilient;
 pub use ba_sim;
 pub use ba_unauth;
 pub use ba_workloads;
@@ -94,9 +111,10 @@ pub mod prelude {
         ErasedSession, ProcessId, RunReport, Runner, SilentAdversary, Value, WireSize,
     };
     pub use ba_workloads::{
-        faults, grid_to_json, message_lower_bound, predictions_with_budget, round_lower_bound,
-        sweep_grid, sweep_seeds, AdversaryKind, ErrorPlacement, ExperimentBuilder,
-        ExperimentConfig, ExperimentOutcome, FaultPlacement, GridPoint, InputPattern, Pipeline,
-        ProtocolDriver, SessionSpec, SweepGrid, SweepSummary, Table, ToJson,
+        driver_table, faults, grid_to_json, message_lower_bound, predictions_with_budget,
+        round_lower_bound, sweep_grid, sweep_seeds, AdversaryKind, ErrorPlacement,
+        ExperimentBuilder, ExperimentConfig, ExperimentOutcome, FaultPlacement, GridPoint,
+        InputPattern, Pipeline, ProtocolDriver, SessionSpec, SweepGrid, SweepSummary, Table,
+        ToJson,
     };
 }

@@ -1,8 +1,11 @@
 //! Conformance suite for the `ProtocolDriver` execution API: every
 //! `Pipeline` variant must reach agreement — and unanimity-validity —
 //! under both the weakest (`Silent`) and strongest (`Disruptor`)
-//! execution-scale adversaries, across multiple seeds; and the parallel
-//! grid sweep must be indistinguishable from serial execution.
+//! execution-scale adversaries, across multiple seeds; the parallel
+//! grid sweep must be indistinguishable from serial execution; and the
+//! resilient family must show its defining graceful round degradation
+//! (a staircase in `B`, never a lane cliff) with quadratic-shaped
+//! communication above the Civit et al. floor.
 
 use ba_predictions::prelude::*;
 
@@ -148,6 +151,132 @@ fn comm_eff_fast_lane_is_asymptotically_cheaper_than_dolev_strong() {
     assert!(
         ratios.windows(2).all(|w| w[0] < w[1]),
         "the message advantage must grow with n (got ratios {ratios:?})"
+    );
+}
+
+#[test]
+fn resilient_agrees_at_scale_under_silent_and_disruptor() {
+    // The sixth family must hold agreement, unanimity-validity, and
+    // liveness at n ∈ {16, 32, 64} under both the weakest and the
+    // strongest execution-scale adversary, through the same generic
+    // driver path as everyone else.
+    for n in [16usize, 32, 64] {
+        for adversary in [AdversaryKind::Silent, AdversaryKind::Disruptor] {
+            for seed in 0..3 {
+                let out = ExperimentConfig::builder()
+                    .n(n)
+                    .faults(4, FaultPlacement::Spread)
+                    .budget(n, ErrorPlacement::Uniform)
+                    .pipeline(Pipeline::Resilient)
+                    .inputs(InputPattern::Unanimous(7))
+                    .adversary(adversary)
+                    .seed(seed)
+                    .build()
+                    .run();
+                assert!(
+                    out.agreement,
+                    "resilient broke agreement at n = {n} under {adversary:?} (seed {seed})"
+                );
+                assert!(
+                    out.validity_ok,
+                    "resilient broke unanimity at n = {n} under {adversary:?} (seed {seed})"
+                );
+                assert!(
+                    out.rounds.is_some(),
+                    "resilient lost liveness at n = {n} under {adversary:?} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resilient_rounds_degrade_gracefully_with_the_error_budget() {
+    // The family's defining property: as the error budget B promotes
+    // faulty identifiers up the throne order, rounds climb a staircase
+    // — monotone-ish, several intermediate levels, unit-phase-scale
+    // steps — instead of the fast-lane/fallback cliff (CommEff jumps
+    // from 5 rounds straight to the full fallback budget; here no
+    // adjacent step may exceed three phases). Split inputs + the
+    // worst-case disruptor realize the curve: every phase whose king
+    // the budget corrupted is a stalled phase.
+    let n = 16;
+    let f = 5;
+    let cap = n * (n - f);
+    let budgets: Vec<usize> = (0..=8).map(|i| i * cap / 8).collect();
+    let curve: Vec<f64> = budgets
+        .iter()
+        .map(|&b| {
+            let cfg = ExperimentConfig::builder()
+                .n(n)
+                .faults(f, FaultPlacement::Spread)
+                .budget(b, ErrorPlacement::Concentrated)
+                .pipeline(Pipeline::Resilient)
+                .inputs(InputPattern::Split)
+                .adversary(AdversaryKind::Disruptor)
+                .build();
+            let summary = sweep_seeds(&cfg, 0..4);
+            assert!(summary.always_agreed, "agreement must survive B = {b}");
+            summary
+                .rounds_mean
+                .expect("liveness must survive every budget")
+        })
+        .collect();
+    assert!(
+        curve.windows(2).all(|w| w[1] >= w[0]),
+        "mean rounds must be monotone in B, got {curve:?}"
+    );
+    let spread = curve.last().unwrap() - curve.first().unwrap();
+    assert!(
+        spread >= 10.0,
+        "the budget must actually cost phases (spread {spread}, curve {curve:?})"
+    );
+    let max_step = curve.windows(2).map(|w| w[1] - w[0]).fold(0.0f64, f64::max);
+    assert!(
+        max_step <= 15.0,
+        "degradation must be gradual, not a lane cliff (step {max_step}, curve {curve:?})"
+    );
+    let mut levels: Vec<u64> = curve.iter().map(|r| (r * 4.0) as u64).collect();
+    levels.dedup();
+    assert!(
+        levels.len() >= 4,
+        "a graceful curve passes through intermediate levels, got {curve:?}"
+    );
+}
+
+#[test]
+fn resilient_communication_is_quadratic_shaped_above_the_floor() {
+    // Civit–Gilbert–Guerraoui: all Byzantine agreement problems are
+    // expensive — quadratic communication is unavoidable, predictions
+    // or not. The resilient pipeline's classification exchange alone is
+    // all-to-all, so its totals must sit above the Theorem 14 floor and
+    // fit a ~n² power law; sanity both ways (no silent undercount, no
+    // runaway blowup).
+    let mut samples = Vec::new();
+    for n in [16usize, 32, 64] {
+        let cfg = ExperimentConfig::builder()
+            .n(n)
+            .faults(2, FaultPlacement::Spread)
+            .pipeline(Pipeline::Resilient)
+            .inputs(InputPattern::Unanimous(3))
+            .build();
+        let t = cfg.t;
+        let out = cfg.run();
+        assert!(out.agreement);
+        assert!(
+            out.messages_total >= message_lower_bound(n, t),
+            "n = {n}: below the Theorem 14 floor"
+        );
+        assert!(
+            out.messages_total >= ((n - 2) * (n - 1)) as u64,
+            "n = {n}: the classification exchange alone is all-to-all"
+        );
+        samples.push((n as f64, out.bytes_total as f64));
+    }
+    let p = ba_workloads::fit_power_law(&samples).expect("three sizes");
+    assert!(
+        (1.5..=2.6).contains(&p),
+        "byte totals should scale ~quadratically, fit exponent {p}"
     );
 }
 
