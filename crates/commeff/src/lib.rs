@@ -33,8 +33,14 @@
 //! execution-scale adversaries (silence, replay — see the driver's
 //! degradation rules) every honest process observes identical report
 //! and certificate sets, so the fast/fallback choice is uniform. A
-//! fully Byzantine equivocator is the province of the signed variant
-//! (future work; see ROADMAP).
+//! fully Byzantine equivocator *can* split the unsigned lane choice
+//! (pinned by `full_equivocation_can_split_the_unsigned_lane_choice`);
+//! the [`signed`] variant ([`CommEffSigned`]) removes exactly that
+//! conditionality with transferable certify certificates.
+
+pub mod signed;
+
+pub use signed::{CommEffSigned, CommEffSignedMsg};
 
 use ba_core::BitVec;
 use ba_early::{PhaseKing, PhaseKingMsg};
@@ -45,7 +51,7 @@ use ba_sim::{
 use std::sync::Arc;
 
 /// First fallback round: the fast lane occupies steps `0..=4`.
-const FALLBACK_START: u64 = 5;
+pub(crate) const FALLBACK_START: u64 = 5;
 
 /// Messages of the communication-efficient pipeline. Every fast-lane
 /// variant is bound to exactly one protocol step, so traffic replayed
@@ -120,6 +126,10 @@ pub struct CommEff {
     input: Value,
     prediction: BitVec,
     committee: Vec<ProcessId>,
+    /// Whether the prediction was degenerate (no fillable committee):
+    /// the process drives no fast-lane traffic and leans toward the
+    /// fallback.
+    degenerate: bool,
     /// Set at step 1 when this process received `n − t` submissions.
     active: bool,
     tentative: Value,
@@ -158,7 +168,10 @@ impl CommEff {
     pub fn new(me: ProcessId, n: usize, t: usize, input: Value, prediction: BitVec) -> Self {
         assert!(3 * t < n, "communication-efficient BA needs 3t < n");
         assert_eq!(prediction.len(), n, "prediction must have n bits");
-        let committee = Self::committee_of(&prediction);
+        let (committee, degenerate) = match Self::committee_of(&prediction) {
+            Some(c) => (c, false),
+            None => (Vec::new(), true),
+        };
         CommEff {
             me,
             n,
@@ -166,6 +179,7 @@ impl CommEff {
             input,
             prediction,
             committee,
+            degenerate,
             active: false,
             tentative: input,
             fallback: None,
@@ -174,27 +188,43 @@ impl CommEff {
     }
 
     /// The committee a prediction string induces: the first
-    /// `min(n, 2f̂ + 1)` identifiers in trust order (predicted-honest
-    /// ascending, then predicted-faulty ascending), where `f̂` is the
-    /// number of predicted-faulty processes. Accurate predictions make
-    /// every honest process sample the same, fully honest committee of
-    /// size `2f + 1`.
-    pub fn committee_of(prediction: &BitVec) -> Vec<ProcessId> {
+    /// `min(n, 2f̂ + 1)` identifiers the string predicts *honest*, where
+    /// `f̂` is the number of predicted-faulty processes. Accurate
+    /// predictions make every honest process sample the same, fully
+    /// honest committee of size `2f + 1`.
+    ///
+    /// Returns `None` for *degenerate* predictions — strings that mark
+    /// fewer than `min(n, 2f̂ + 1)` identifiers trusted (e.g. an
+    /// all-suspect string), so the committee cannot be filled from
+    /// trusted identifiers alone. Earlier revisions silently padded the
+    /// committee with predicted-faulty identifiers, which breaks the
+    /// fast lane's "at most `f̂` of `2f̂ + 1` members faulty" premise; a
+    /// degenerate prediction now diverts its holder to the fallback
+    /// lane instead (it drives no fast-lane traffic and falls back at
+    /// the certify checkpoint unless a consistent certificate view
+    /// arrives from non-degenerate peers).
+    pub fn committee_of(prediction: &BitVec) -> Option<Vec<ProcessId>> {
         let n = prediction.len();
         let predicted_faulty = n - prediction.count_ones();
         let size = n.min(2 * predicted_faulty + 1);
-        let trusted = (0..n).filter(|&j| prediction.get(j));
-        let suspected = (0..n).filter(|&j| !prediction.get(j));
-        trusted
-            .chain(suspected)
+        let committee: Vec<ProcessId> = (0..n)
+            .filter(|&j| prediction.get(j))
             .take(size)
             .map(|j| ProcessId(j as u32))
-            .collect()
+            .collect();
+        (committee.len() == size).then_some(committee)
     }
 
-    /// This process's sampled committee.
+    /// This process's sampled committee (empty when the prediction was
+    /// degenerate — see [`CommEff::committee_of`]).
     pub fn committee(&self) -> &[ProcessId] {
         &self.committee
+    }
+
+    /// Whether the prediction was degenerate (fewer than `2f̂ + 1`
+    /// trusted identifiers): the process drives no fast-lane traffic.
+    pub fn degenerate(&self) -> bool {
+        self.degenerate
     }
 
     /// The raw prediction string this process acts on — the pipeline's
@@ -246,7 +276,12 @@ impl Process for CommEff {
                 CommEffMsg::Submit(self.input),
             ),
             // Step 1: processes trusted by n − t peers aggregate.
+            // Degenerate predictions drive no fast-lane traffic, so
+            // their holders never activate as aggregators either.
             1 => {
+                if self.degenerate {
+                    return;
+                }
                 let submits = distinct_values_by_sender(inbox, |m| match m {
                     CommEffMsg::Submit(v) => Some(*v),
                     _ => None,
@@ -454,7 +489,7 @@ mod tests {
             m.row_mut(row).set(2, true); // trust the traitor
             m.row_mut(row).set(9, false); // suspect an innocent
         }
-        let committee = CommEff::committee_of(m.row(ProcessId(0)));
+        let committee = CommEff::committee_of(m.row(ProcessId(0))).expect("non-degenerate");
         assert_eq!(
             committee,
             vec![ProcessId(0), ProcessId(1), ProcessId(2)],
@@ -508,6 +543,61 @@ mod tests {
     }
 
     #[test]
+    fn full_equivocation_can_split_the_unsigned_lane_choice() {
+        // Pins the *documented conditional* behaviour of the unsigned
+        // fast lane (module docs: the certify step assumes faulty
+        // processes cannot split the honest view of broadcast traffic).
+        // With all-honest predictions the shared committee is the single
+        // identifier p0 — which is faulty. p0 equivocates its report
+        // (7 to evens, 9 to odds) and then delivers a certificate to the
+        // even half only: the evens decide in the fast lane while the
+        // odds divert into a fallback that can never reach quorum. This
+        // split is exactly what `CommEffSigned`'s transferable,
+        // echo-forwarded certificates remove — see
+        // `crate::signed::tests::withheld_certificates_cannot_split_the_signed_lane`.
+        use ba_sim::{AdversaryCtx, FnAdversary};
+        let n = 7;
+        let t = 2;
+        let f = faults(&[0]);
+        let m = PredictionMatrix::all_honest(n);
+        let adv = FnAdversary::new(|ctx: &mut AdversaryCtx<'_, CommEffMsg>| match ctx.round {
+            1 => {
+                for to in ProcessId::all(7) {
+                    let v = if to.0.is_multiple_of(2) {
+                        Value(7)
+                    } else {
+                        Value(9)
+                    };
+                    ctx.send(ProcessId(0), to, CommEffMsg::Report(v));
+                }
+            }
+            3 => {
+                for to in ProcessId::all(7).filter(|p| p.0.is_multiple_of(2)) {
+                    ctx.send(ProcessId(0), to, CommEffMsg::Commit(Value(7)));
+                }
+            }
+            _ => {}
+        });
+        let mut runner = Runner::with_ids(n, system(n, t, &f, &m, |_| 7), adv);
+        let report = runner.run(CommEff::rounds(t));
+        let fell_back: Vec<bool> = ProcessId::all(n)
+            .filter(|p| !f.contains(p))
+            .map(|id| runner.process(id).expect("honest").fell_back())
+            .collect();
+        assert!(
+            fell_back.iter().any(|b| *b) && fell_back.iter().any(|b| !*b),
+            "the unsigned lane choice must split under this equivocation \
+             (got {fell_back:?}) — if this starts failing, the documented \
+             conditionality has changed and the signed variant's contrast \
+             tests need revisiting"
+        );
+        assert!(
+            !report.all_decided(),
+            "the under-quorum fallback half cannot decide"
+        );
+    }
+
+    #[test]
     fn fast_lane_is_subquadratic_in_messages() {
         // With accurate predictions and f fixed, the fast lane costs
         // Θ(n · f) constant-size messages: for n = 31, 2 faults it must
@@ -530,15 +620,56 @@ mod tests {
     #[test]
     fn committee_tracks_the_predicted_fault_count() {
         let mut p = BitVec::ones(9);
-        assert_eq!(CommEff::committee_of(&p), vec![ProcessId(0)]);
+        assert_eq!(CommEff::committee_of(&p), Some(vec![ProcessId(0)]));
         p.set(2, false); // one predicted fault → 2f̂ + 1 = 3 members
         assert_eq!(
             CommEff::committee_of(&p),
-            vec![ProcessId(0), ProcessId(1), ProcessId(3)],
+            Some(vec![ProcessId(0), ProcessId(1), ProcessId(3)]),
             "suspects are skipped"
         );
-        let none = BitVec::zeros(3); // all suspected → capped at n
-        assert_eq!(CommEff::committee_of(&none).len(), 3);
+        // All suspected: no trusted identifier can seat the committee.
+        assert_eq!(CommEff::committee_of(&BitVec::zeros(3)), None);
+        let mut tight = BitVec::ones(9);
+        for j in 0..4 {
+            tight.set(j, false); // f̂ = 4 → min(9, 2·4 + 1) = 9 seats, 5 trusted
+        }
+        assert_eq!(
+            CommEff::committee_of(&tight),
+            None,
+            "5 trusted ids cannot seat a 9-member committee"
+        );
+        let mut exact = BitVec::ones(9);
+        exact.set(0, false); // f̂ = 1 → 3 seats, 8 trusted
+        assert_eq!(
+            CommEff::committee_of(&exact),
+            Some(vec![ProcessId(1), ProcessId(2), ProcessId(3)]),
+            "committee contains trusted identifiers only"
+        );
+    }
+
+    #[test]
+    fn all_suspect_predictions_divert_to_the_fallback() {
+        // Regression for the degenerate-committee edge case: an
+        // all-suspect prediction used to build a committee padded with
+        // the very identifiers it distrusts; it must instead divert the
+        // run into the fallback lane — uniformly — and still agree.
+        let n = 7;
+        let f = faults(&[0]);
+        let m = PredictionMatrix::from_rows(vec![BitVec::zeros(n); n]);
+        let mut runner = Runner::with_ids(n, system(n, 2, &f, &m, |_| 9), SilentAdversary);
+        let report = runner.run(CommEff::rounds(2));
+        assert!(report.agreement());
+        assert_eq!(report.decision(), Some(&Value(9)), "unanimity survives");
+        for id in ProcessId::all(n).filter(|p| !f.contains(p)) {
+            let p = runner.process(id).expect("honest");
+            assert!(p.degenerate(), "{id} should have no fillable committee");
+            assert!(p.committee().is_empty());
+            assert!(p.fell_back(), "{id} must divert to the fallback lane");
+        }
+        assert!(
+            report.last_decision_round.expect("decided") > 4,
+            "decision must come from the fallback lane"
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   and Rust privacy prevents key extraction from the oracle.
 //! * [`encode`] — a small deterministic, domain-separated byte encoder so
 //!   that every signed protocol message has a canonical serialization.
+//! * [`signed`] — the reusable [`signed::Signed`] envelope (canonical
+//!   encoding + signature + verify-on-receive), the building block of
+//!   the signed protocol variants (`CommEffSigned`, `ResilientSigned`).
 //!
 //! Everything the protocols need from signatures — authentication,
 //! transferability along message chains, and equivocation evidence — is
@@ -29,8 +32,10 @@ pub mod encode;
 pub mod hmac;
 pub mod sha256;
 pub mod sign;
+pub mod signed;
 
 pub use encode::{Encodable, Encoder};
 pub use hmac::hmac_sha256;
 pub use sha256::{sha256, Sha256};
-pub use sign::{Pki, Signature, SigningKey};
+pub use sign::{Pki, Signature, SignerId, SigningKey};
+pub use signed::Signed;

@@ -45,6 +45,20 @@
 //! constant factor of the baseline's `t + 2`, which is the resilience
 //! contract: *graceful* gains when the predictions help, bounded loss
 //! when they are garbage.
+//!
+//! The suffix is insurance against *classification equivocation* (the
+//! schedule split is pinned by
+//! `equivocated_classifications_split_the_unsigned_schedules`); the
+//! [`signed`] variant ([`ResilientSigned`]) replaces the insurance with
+//! signed, echoed classifications whose equivocators are convicted by
+//! their own signatures — shrinking the budget to `t + 2` phases with
+//! no suffix at all.
+
+pub mod signed;
+
+pub use signed::{
+    signed_king_schedule, ResilientSigned, ResilientSignedMsg, SignedResilientDisruptor,
+};
 
 use ba_core::BitVec;
 use ba_early::{PhaseKing, PhaseKingMsg};
@@ -352,14 +366,51 @@ impl ResilientDisruptor {
         }
     }
 
-    /// Sends `msg` from every coalition member to even recipients — the
-    /// selective half-cast that keeps minimum/plurality-style honest
-    /// aggregation split (see [`crate::ResilientDisruptor`] docs).
-    fn split_cast(&self, ctx: &mut AdversaryCtx<'_, ResilientMsg>, msg: ResilientMsg) {
-        for &from in &self.faulty {
-            for to in ProcessId::all(self.n).filter(|p| p.0.is_multiple_of(2)) {
-                ctx.send(from, to, msg.clone());
+    /// One phase-slot's worth of coalition disruption, shared by the
+    /// unsigned and signed disruptors: equivocate every graded-consensus
+    /// round (the message to even recipients, silence to the odd ones —
+    /// the selective half-cast that keeps minimum/plurality-style
+    /// honest aggregation split) and split the crown broadcast whenever
+    /// the scheduled king is a coalition member.
+    pub(crate) fn disrupt_phase<M: Clone>(
+        ctx: &mut AdversaryCtx<'_, M>,
+        faulty: &[ProcessId],
+        n: usize,
+        king: ProcessId,
+        tag: u16,
+        slot: u64,
+        wrap: impl Fn(Arc<PhaseKingMsg>) -> M,
+    ) {
+        let gc = |inner: UnauthGcMsg, main: bool| {
+            let inner = Arc::new(inner);
+            wrap(Arc::new(if main {
+                PhaseKingMsg::Main { phase: tag, inner }
+            } else {
+                PhaseKingMsg::Detect { phase: tag, inner }
+            }))
+        };
+        let split_cast = |ctx: &mut AdversaryCtx<'_, M>, msg: M| {
+            for &from in faulty {
+                for to in ProcessId::all(n).filter(|p| p.0.is_multiple_of(2)) {
+                    ctx.send(from, to, msg.clone());
+                }
             }
+        };
+        match slot {
+            0 => split_cast(ctx, gc(UnauthGcMsg::Vote(Value(0)), true)),
+            1 => split_cast(ctx, gc(UnauthGcMsg::Echo(Value(0)), true)),
+            2 => {
+                if faulty.contains(&king) {
+                    for to in ProcessId::all(n) {
+                        let value = Value(u64::from(to.0 % 2));
+                        let msg = wrap(Arc::new(PhaseKingMsg::King { phase: tag, value }));
+                        ctx.send(king, to, msg);
+                    }
+                }
+            }
+            3 => split_cast(ctx, gc(UnauthGcMsg::Vote(Value(0)), false)),
+            4 => split_cast(ctx, gc(UnauthGcMsg::Echo(Value(0)), false)),
+            _ => unreachable!(),
         }
     }
 }
@@ -384,33 +435,15 @@ impl Adversary<ResilientMsg> for ResilientDisruptor {
         if phase >= self.schedule.len() {
             return;
         }
-        let tag = phase as u16;
-        let gc = |inner: UnauthGcMsg, main: bool| {
-            let inner = Arc::new(inner);
-            ResilientMsg::Phase(Arc::new(if main {
-                PhaseKingMsg::Main { phase: tag, inner }
-            } else {
-                PhaseKingMsg::Detect { phase: tag, inner }
-            }))
-        };
-        match local % 5 {
-            0 => self.split_cast(ctx, gc(UnauthGcMsg::Vote(Value(0)), true)),
-            1 => self.split_cast(ctx, gc(UnauthGcMsg::Echo(Value(0)), true)),
-            2 => {
-                let king = self.schedule[phase];
-                if self.faulty.contains(&king) {
-                    for to in ProcessId::all(self.n) {
-                        let value = Value(u64::from(to.0 % 2));
-                        let msg =
-                            ResilientMsg::Phase(Arc::new(PhaseKingMsg::King { phase: tag, value }));
-                        ctx.send(king, to, msg);
-                    }
-                }
-            }
-            3 => self.split_cast(ctx, gc(UnauthGcMsg::Vote(Value(0)), false)),
-            4 => self.split_cast(ctx, gc(UnauthGcMsg::Echo(Value(0)), false)),
-            _ => unreachable!(),
-        }
+        Self::disrupt_phase(
+            ctx,
+            &self.faulty,
+            self.n,
+            self.schedule[phase],
+            phase as u16,
+            local % 5,
+            ResilientMsg::Phase,
+        );
     }
 }
 
@@ -542,6 +575,57 @@ mod tests {
         let report = runner.run(ResilientBa::rounds(t));
         assert!(report.agreement());
         assert!(report.all_decided(), "suffix rotation guarantees liveness");
+    }
+
+    #[test]
+    fn equivocated_classifications_split_the_unsigned_schedules() {
+        // Pins the *documented conditional* behaviour the rotation
+        // suffix exists for: a per-recipient classification equivocator
+        // splits the honest suspicion views so thoroughly that no two
+        // honest processes share a throne prefix, every prefix phase
+        // stalls (nobody believes itself king), and the decision only
+        // lands in the common identifier-rotation suffix. The signed
+        // variant convicts the equivocator instead — see
+        // `signed::tests::equivocated_classifications_are_convicted_and_schedules_agree`.
+        use ba_sim::FnAdversary;
+        let n = 7;
+        let t = 2;
+        let f = faults(&[6]);
+        let m = PredictionMatrix::perfect(n, &f);
+        let adv = FnAdversary::new(move |ctx: &mut AdversaryCtx<'_, ResilientMsg>| {
+            if ctx.round == 0 {
+                for to in ProcessId::all(7) {
+                    let mut bits = BitVec::ones(7);
+                    bits.set((to.0 as usize) % 7, false);
+                    ctx.send(ProcessId(6), to, ResilientMsg::Classify(Arc::new(bits)));
+                }
+            }
+        });
+        let mut runner = Runner::with_ids(n, system(n, t, &f, &m, |slot| (slot % 2) as u64), adv);
+        let report = runner.run(ResilientBa::rounds(t));
+        assert!(report.agreement());
+        assert!(report.all_decided());
+        let schedules: Vec<Vec<ProcessId>> = ProcessId::all(n)
+            .filter(|p| !f.contains(p))
+            .map(|id| {
+                runner
+                    .process(id)
+                    .expect("honest")
+                    .schedule()
+                    .expect("seated")
+            })
+            .collect();
+        assert!(
+            schedules.windows(2).any(|w| w[0] != w[1]),
+            "unsigned equivocation must split the schedules (got \
+             {schedules:?}) — if this starts failing, the documented \
+             conditionality has changed and the signed variant's \
+             contrast tests need revisiting"
+        );
+        assert!(
+            report.last_decision_round.expect("decided") > 1 + 5 * (t as u64 + 1),
+            "with fully split prefixes, only the rotation suffix decides"
+        );
     }
 
     #[test]

@@ -13,6 +13,19 @@
 //! messages compose the impls of their parts, so the accounting stays
 //! consistent across protocol layers (a wrapped sub-protocol payload
 //! costs its inner size plus the wrapper's framing).
+//!
+//! ## The signature byte model
+//!
+//! Authenticated traffic follows the same composition rule. A
+//! signature (`ba_crypto::Signature`) costs a fixed **20 bytes** — a
+//! 4-byte signer id plus the 16-byte truncated MAC tag — and a signed
+//! envelope (`ba_crypto::Signed<M>`) costs its body plus those 20
+//! bytes, nothing more. Consequently every signed pipeline message is
+//! *exactly* its unsigned counterpart plus 20 bytes per carried
+//! signature (asserted by the conformance suite), and
+//! certificate-carrying messages price each embedded acknowledgement
+//! at body + 20 — which is why the signed certify echo costs
+//! `O(n³)` bytes: `n` broadcasts to `n` recipients of an `(n − t)`-signature proof.
 
 use crate::id::{ProcessId, Value};
 use std::sync::Arc;

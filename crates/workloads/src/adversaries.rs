@@ -1,16 +1,27 @@
 //! Byzantine strategies against the wrapper protocols.
 //!
 //! The protocol-agnostic strategies (silence, crashing, replay) live in
-//! `ba-sim`; here are the prediction-aware ones. The deepest attacks —
-//! forged certificates, split chains, camp-splitting — are exercised at
-//! the individual protocol layers (see the `ba-graded`/`ba-auth` test
-//! suites), where the adversary can be written against the concrete
-//! message type.
+//! `ba-sim`; here are the prediction-aware ones — the classification
+//! liars for every pipeline with a classification round, and the
+//! *signature equivocators* for the signed pipelines: coalitions that
+//! forge tags (claiming honest signers), replay honest signatures from
+//! corrupted identities, sign genuinely conflicting bodies with their
+//! own corrupted keys, and selectively withhold genuine certificates —
+//! the full menu the signed variants' verify-on-receive, conviction,
+//! and certificate-echo mechanisms must defeat. The deepest
+//! protocol-specific attacks (split chains, camp-splitting) are
+//! exercised at the individual protocol layers (see the
+//! `ba-graded`/`ba-auth` test suites), where the adversary can be
+//! written against the concrete message type.
 
+use ba_commeff::signed::{AckBody, Certificate, CommEffSignedMsg, ReportBody};
 use ba_core::{AuthWrapperMsg, BitVec, UnauthWrapperMsg};
-use ba_sim::{Adversary, AdversaryCtx, ProcessId};
+use ba_crypto::{Pki, Signed, SigningKey};
+use ba_resilient::signed::{ClassifyBody, ResilientSignedMsg};
+use ba_sim::{Adversary, AdversaryCtx, ProcessId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// What a lying voter claims during classification (Algorithm 2).
@@ -106,6 +117,20 @@ impl ClassifyLiar {
     pub fn resilient(self) -> impl Adversary<ba_resilient::ResilientMsg> {
         ResilientLiar(self)
     }
+
+    /// Adapter for the *signed* resilient pipeline: the same crafted
+    /// vectors, each signed with the emitting coalition member's own
+    /// corrupted key (the harness hands the adversary exactly those).
+    /// `RandomPerRecipient` becomes a *signature equivocator* — and the
+    /// signed exchange convicts it by its own signatures instead of
+    /// paying the rotation suffix.
+    pub fn resilient_signed(self, keys: Vec<SigningKey>) -> impl Adversary<ResilientSignedMsg> {
+        let keys = keys
+            .into_iter()
+            .map(|k| (ProcessId(k.id()), k))
+            .collect::<BTreeMap<_, _>>();
+        SignedResilientLiar { base: self, keys }
+    }
 }
 
 struct UnauthLiar(ClassifyLiar);
@@ -126,6 +151,203 @@ struct ResilientLiar(ClassifyLiar);
 impl Adversary<ba_resilient::ResilientMsg> for ResilientLiar {
     fn act(&mut self, ctx: &mut AdversaryCtx<'_, ba_resilient::ResilientMsg>) {
         self.0.emit(ctx, ba_resilient::ResilientMsg::Classify);
+    }
+}
+
+struct SignedResilientLiar {
+    base: ClassifyLiar,
+    keys: BTreeMap<ProcessId, SigningKey>,
+}
+
+impl Adversary<ResilientSignedMsg> for SignedResilientLiar {
+    fn act(&mut self, ctx: &mut AdversaryCtx<'_, ResilientSignedMsg>) {
+        if ctx.round != 0 {
+            return;
+        }
+        let per_recipient = matches!(self.base.style, LiarStyle::RandomPerRecipient);
+        for from in self.base.faulty.clone() {
+            let Some(key) = self.keys.get(&from) else {
+                continue;
+            };
+            let classify = |bits: BitVec| {
+                ResilientSignedMsg::Classify(Arc::new(Signed::new(ClassifyBody { bits }, key)))
+            };
+            if per_recipient {
+                for to in ProcessId::all(self.base.n) {
+                    let msg = classify(self.base.vector());
+                    ctx.send(from, to, msg);
+                }
+            } else {
+                ctx.broadcast(from, classify(self.base.vector()));
+            }
+        }
+    }
+}
+
+/// The full signature-equivocation menu against the signed
+/// communication-efficient pipeline, used as its `Disruptor` mapping:
+///
+/// * **submit round** — rushing visibility replays every observed
+///   honest signed submission from a corrupted identity, in the round
+///   the submit step actually reads them (verify-on-receive must drop
+///   each signer/sender mismatch);
+/// * **report round** — every coalition member signs *conflicting*
+///   reports with its own key (one value to even recipients, another to
+///   odd ones), plus a forged-tag report claiming an honest signer;
+/// * **ack round** — rushing visibility harvests every honest signed
+///   acknowledgement, and each member double-acks both report values;
+/// * **certify round** — if any value actually gathered an `n − t`
+///   happy quorum, the coalition assembles the *genuine* certificate
+///   and delivers it to the odd half only (the withholding split the
+///   echo round must repair); either way it split-casts certificates
+///   stuffed with forged acknowledgements to the even half.
+///
+/// Verify-on-receive drops the forgeries and replays, quorum
+/// intersection prevents conflicting genuine certificates, and the
+/// certificate echo spreads any withheld one — so the honest lane
+/// choice stays uniform, which the conformance suite asserts at
+/// n ∈ {16, 32, 64}. Deterministic: no randomness anywhere.
+pub struct SignedCertEquivocator {
+    n: usize,
+    t: usize,
+    keys: Vec<SigningKey>,
+    pki: Arc<Pki>,
+    harvested: Vec<Signed<AckBody>>,
+}
+
+impl SignedCertEquivocator {
+    /// The two values the coalition plays against each other.
+    const SPLIT: (u64, u64) = (5, 77);
+
+    /// Creates the equivocator controlling the corrupted `keys`.
+    pub fn new(n: usize, t: usize, keys: Vec<SigningKey>, pki: Arc<Pki>) -> Self {
+        SignedCertEquivocator {
+            n,
+            t,
+            keys,
+            pki,
+            harvested: Vec::new(),
+        }
+    }
+
+    /// A certificate stuffed with forged acknowledgements: self-signed
+    /// tags re-attributed to honest signers. Must never verify.
+    fn bogus_certificate(&self, value: Value) -> Arc<Certificate> {
+        let key = &self.keys[0];
+        let acks = (0..self.n as u32)
+            .map(|claimed| {
+                let body = AckBody { value, happy: true };
+                let mut sig = *Signed::new(body, key).signature();
+                sig.signer = claimed;
+                Signed::from_parts(body, sig)
+            })
+            .collect();
+        Arc::new(Certificate { value, acks })
+    }
+
+    /// The genuine certificate for `value`, if the harvested and own
+    /// acknowledgements reach an `n − t` distinct-signer happy quorum.
+    fn genuine_certificate(&self, value: Value) -> Option<Arc<Certificate>> {
+        let mut signers = BTreeSet::new();
+        let mut acks = Vec::new();
+        let own = self
+            .keys
+            .iter()
+            .map(|key| Signed::new(AckBody { value, happy: true }, key));
+        for ack in self.harvested.iter().cloned().chain(own) {
+            if ack.body().value == value
+                && ack.body().happy
+                && ack.verify(&self.pki)
+                && signers.insert(ack.signer())
+            {
+                acks.push(ack);
+            }
+        }
+        (signers.len() >= self.n - self.t).then(|| Arc::new(Certificate { value, acks }))
+    }
+}
+
+impl Adversary<CommEffSignedMsg> for SignedCertEquivocator {
+    fn act(&mut self, ctx: &mut AdversaryCtx<'_, CommEffSignedMsg>) {
+        let (a, b) = Self::SPLIT;
+        match ctx.round {
+            0 => {
+                // Replay every honest signed submission — observed via
+                // rushing visibility in the round the Submit step
+                // actually reads them — from a corrupted identity: the
+                // signer/sender mismatch must get each one dropped by
+                // verify-on-receive.
+                if let Some(key) = self.keys.first() {
+                    let from = ProcessId(key.id());
+                    let observed: Vec<Arc<CommEffSignedMsg>> = ctx
+                        .honest_traffic
+                        .iter()
+                        .filter(|e| matches!(&*e.payload, CommEffSignedMsg::Submit(_)))
+                        .map(|e| Arc::clone(&e.payload))
+                        .collect();
+                    for payload in observed {
+                        for to in ProcessId::all(self.n) {
+                            ctx.replay(from, to, Arc::clone(&payload));
+                        }
+                    }
+                }
+            }
+            1 => {
+                // Conflicting reports under the coalition's own keys.
+                for key in &self.keys {
+                    let from = ProcessId(key.id());
+                    for to in ProcessId::all(self.n) {
+                        let v = if to.0.is_multiple_of(2) { a } else { b };
+                        let msg = CommEffSignedMsg::Report(Signed::new(
+                            ReportBody { value: Value(v) },
+                            key,
+                        ));
+                        ctx.send(from, to, msg);
+                    }
+                    // A forged report claiming the first honest-looking
+                    // signer (anyone but ourselves).
+                    let claimed = (0..self.n as u32)
+                        .find(|id| *id != key.id())
+                        .unwrap_or_default();
+                    let body = ReportBody { value: Value(a) };
+                    let mut sig = *Signed::new(body, key).signature();
+                    sig.signer = claimed;
+                    ctx.broadcast(
+                        from,
+                        CommEffSignedMsg::Report(Signed::from_parts(body, sig)),
+                    );
+                }
+            }
+            2 => {
+                // Rushing visibility: harvest the honest signed acks.
+                for env in ctx.honest_traffic {
+                    if let CommEffSignedMsg::Ack(signed) = &*env.payload {
+                        self.harvested.push(signed.clone());
+                    }
+                }
+            }
+            3 => {
+                // Genuine-but-withheld certificate to the odd half…
+                let genuine = [Value(a), Value(b)]
+                    .into_iter()
+                    .find_map(|v| self.genuine_certificate(v));
+                if let (Some(cert), Some(key)) = (genuine, self.keys.first()) {
+                    let from = ProcessId(key.id());
+                    for to in ProcessId::all(self.n).filter(|p| !p.0.is_multiple_of(2)) {
+                        ctx.send(from, to, CommEffSignedMsg::Commit(Arc::clone(&cert)));
+                    }
+                }
+                // …and unverifiable forged certificates to the evens.
+                let bogus = self.bogus_certificate(Value(a));
+                for key in &self.keys {
+                    let from = ProcessId(key.id());
+                    for to in ProcessId::all(self.n).filter(|p| p.0.is_multiple_of(2)) {
+                        ctx.send(from, to, CommEffSignedMsg::Commit(Arc::clone(&bogus)));
+                    }
+                }
+            }
+            _ => {}
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 //! [`crate::experiment`] then runs it and measures, identically for
 //! every family.
 //!
-//! Six drivers ship today, one per [`crate::experiment::Pipeline`]
+//! Eight drivers ship today, one per [`crate::experiment::Pipeline`]
 //! variant:
 //!
 //! | driver | protocol | resilience | predictions |
@@ -21,6 +21,8 @@
 //! | [`TruncatedDolevStrongDriver`] | full Dolev–Strong baseline | `2t < n` | ignored |
 //! | [`CommEffDriver`] | committee-sampled fast lane + phase-king fallback (Dzulfikar–Gilbert) | `3t < n` | yes |
 //! | [`ResilientDriver`] | suspicion-ordered king rotation (Dallot et al.) | `3t < n` | yes |
+//! | [`CommEffSignedDriver`] | signed certify certificates + echo: unconditional lane choice | `3t < n` | yes |
+//! | [`ResilientSignedDriver`] | signed classification exchange: agreeing views, `t + 2` phases, no suffix | `3t < n` | yes |
 //!
 //! This is the extension seam for related-work pipelines (sharded and
 //! batched execution modes are the open ones): a new protocol plugs
@@ -33,24 +35,29 @@
 //! ## Adversary mapping for drivers without a classification round
 //!
 //! [`AdversaryKind`] names behaviours of the *wrapper* execution model.
-//! The baselines and the communication-efficient pipeline have no
-//! classification round to lie in and no schedule to disrupt, so the
-//! kinds degrade to the strongest protocol-agnostic behaviour
-//! available: `ClassifyLiar` becomes silence (its lies have no
-//! audience) and `Disruptor` becomes a 1-round replay coalition — both
-//! documented deviations, chosen over panicking so that sweeps can
-//! hold the adversary column fixed across pipelines.
+//! The baselines and the communication-efficient pipelines have no
+//! classification round to lie in, so for them `ClassifyLiar` degrades
+//! to silence (its lies have no audience). `Disruptor` maps to the
+//! strongest behaviour each family admits: the schedule-aware
+//! coalitions for the resilient pair
+//! ([`ba_resilient::ResilientDisruptor`] /
+//! [`ba_resilient::SignedResilientDisruptor`]), the full
+//! signature-equivocation menu for the signed committee pipeline
+//! ([`crate::adversaries::SignedCertEquivocator`]), and a 1-round
+//! replay coalition for the baselines and the unsigned committee
+//! pipeline — documented deviations, chosen over panicking so that
+//! sweeps can hold the adversary column fixed across pipelines.
 
-use crate::adversaries::ClassifyLiar;
+use crate::adversaries::{ClassifyLiar, SignedCertEquivocator};
 use crate::experiment::{AdversaryKind, InputPattern};
-use ba_commeff::CommEff;
+use ba_commeff::{CommEff, CommEffSigned};
 use ba_core::{
     AuthWrapper, AuthWrapperMsg, BitVec, MisclassificationReport, PredictionMatrix, UnauthWrapper,
     UnauthWrapperMsg,
 };
-use ba_crypto::Pki;
+use ba_crypto::{Pki, SigningKey};
 use ba_early::{PhaseKing, PhaseKingOutput, TruncatedDs};
-use ba_resilient::{ResilientBa, ResilientDisruptor};
+use ba_resilient::{ResilientBa, ResilientDisruptor, ResilientSigned, SignedResilientDisruptor};
 use ba_sim::{
     erase, Adversary, ErasedSession, MapOutput, ProcessId, ReplayAdversary, SilentAdversary, Value,
 };
@@ -474,6 +481,144 @@ impl ProtocolDriver for ResilientDriver {
     }
 }
 
+/// The signing keys of the corrupted identifiers — the only keys the
+/// harness ever hands an adversary (simulated-PKI unforgeability is
+/// exactly this discipline; see [`ba_crypto::Pki::signing_key`]).
+fn corrupted_keys(pki: &Pki, faulty: &BTreeSet<ProcessId>) -> Vec<SigningKey> {
+    faulty.iter().map(|p| pki.signing_key(p.0)).collect()
+}
+
+/// Signed communication-efficient BA with predictions: the same
+/// committee-sampled fast lane as [`CommEffDriver`], with signed
+/// submit/report/ack traffic and a transferable, echoed certify
+/// certificate — so an equivocating aggregator can no longer split the
+/// fast/fallback decision (`3t < n`).
+///
+/// `Disruptor` maps to the full signature-equivocation menu
+/// ([`SignedCertEquivocator`]: forged tags, replayed honest signatures,
+/// conflicting own-key reports, withheld genuine certificates);
+/// `ClassifyLiar` degrades to silence exactly as for the unsigned
+/// committee pipeline (no classification round to lie in).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommEffSignedDriver;
+
+impl ProtocolDriver for CommEffSignedDriver {
+    fn name(&self) -> &'static str {
+        "comm-eff-signed"
+    }
+
+    fn max_faults(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 3
+    }
+
+    fn uses_predictions(&self) -> bool {
+        true
+    }
+
+    fn max_rounds(&self, _n: usize, t: usize) -> u64 {
+        CommEffSigned::rounds(t) + 2
+    }
+
+    fn build(&self, spec: &SessionSpec<'_>) -> Box<dyn ErasedSession> {
+        let pki = Arc::new(Pki::new(spec.n, spec.seed ^ 0x91c1));
+        let mut honest: BTreeMap<ProcessId, CommEffSigned> = BTreeMap::new();
+        for (slot, id) in spec.honest_slots() {
+            honest.insert(
+                id,
+                CommEffSigned::new(
+                    id,
+                    spec.n,
+                    spec.t,
+                    spec.input_for(slot),
+                    spec.matrix.row(id).clone(),
+                    Arc::clone(&pki),
+                    pki.signing_key(id.0),
+                ),
+            );
+        }
+        let adversary: Box<dyn Adversary<ba_commeff::CommEffSignedMsg>> = match spec.adversary {
+            AdversaryKind::Silent | AdversaryKind::ClassifyLiar(_) => Box::new(SilentAdversary),
+            AdversaryKind::Replay => Box::new(ReplayAdversary::new(1)),
+            AdversaryKind::Disruptor => Box::new(SignedCertEquivocator::new(
+                spec.n,
+                spec.t,
+                corrupted_keys(&pki, spec.faulty),
+                Arc::clone(&pki),
+            )),
+        };
+        erase(spec.n, honest, adversary, |p: &CommEffSigned| {
+            Some(bits_of(p.prediction()))
+        })
+    }
+}
+
+/// Signed resilient BA with predictions: the same suspicion-ordered
+/// throne schedule as [`ResilientDriver`], but the classification
+/// exchange is signed and echoed, equivocators are convicted by their
+/// own signatures, and the honest suspicion views therefore agree —
+/// shrinking the phase budget from `2t + 3` to `t + 2` and dropping
+/// the identifier-rotation suffix (`3t < n`).
+///
+/// `ClassifyLiar` attacks the signed exchange natively (its vectors are
+/// signed with the corrupted keys); `Disruptor` maps to the signed
+/// schedule-aware coalition ([`SignedResilientDisruptor`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResilientSignedDriver;
+
+impl ProtocolDriver for ResilientSignedDriver {
+    fn name(&self) -> &'static str {
+        "resilient-signed"
+    }
+
+    fn max_faults(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 3
+    }
+
+    fn uses_predictions(&self) -> bool {
+        true
+    }
+
+    fn max_rounds(&self, _n: usize, t: usize) -> u64 {
+        ResilientSigned::rounds(t) + 2
+    }
+
+    fn build(&self, spec: &SessionSpec<'_>) -> Box<dyn ErasedSession> {
+        let pki = Arc::new(Pki::new(spec.n, spec.seed ^ 0x91c1));
+        let mut honest: BTreeMap<ProcessId, ResilientSigned> = BTreeMap::new();
+        for (slot, id) in spec.honest_slots() {
+            honest.insert(
+                id,
+                ResilientSigned::new(
+                    id,
+                    spec.n,
+                    spec.t,
+                    spec.input_for(slot),
+                    spec.matrix.row(id).clone(),
+                    Arc::clone(&pki),
+                    pki.signing_key(id.0),
+                ),
+            );
+        }
+        let adversary: Box<dyn Adversary<ba_resilient::ResilientSignedMsg>> = match spec.adversary {
+            AdversaryKind::Silent => Box::new(SilentAdversary),
+            AdversaryKind::ClassifyLiar(style) => Box::new(
+                ClassifyLiar::new(spec.n, spec.faulty_vec(), style, spec.seed)
+                    .resilient_signed(corrupted_keys(&pki, spec.faulty)),
+            ),
+            AdversaryKind::Replay => Box::new(ReplayAdversary::new(1)),
+            AdversaryKind::Disruptor => Box::new(SignedResilientDisruptor::new(
+                spec.n,
+                spec.t,
+                corrupted_keys(&pki, spec.faulty),
+                Arc::clone(&pki),
+            )),
+        };
+        erase(spec.n, honest, adversary, |p: &ResilientSigned| {
+            p.classification().map(bits_of)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,13 +649,15 @@ mod tests {
 
     #[test]
     fn every_driver_reaches_unanimous_agreement() {
-        let drivers: [&dyn ProtocolDriver; 6] = [
+        let drivers: [&dyn ProtocolDriver; 8] = [
             &UnauthWrapperDriver,
             &AuthWrapperDriver,
             &PhaseKingDriver,
             &TruncatedDolevStrongDriver,
             &CommEffDriver,
             &ResilientDriver,
+            &CommEffSignedDriver,
+            &ResilientSignedDriver,
         ];
         let n = 10;
         let (faulty, matrix) = spec_parts(n, 2);
@@ -535,6 +682,8 @@ mod tests {
         assert_eq!(PhaseKingDriver.max_faults(10), 3);
         assert_eq!(CommEffDriver.max_faults(10), 3);
         assert_eq!(ResilientDriver.max_faults(10), 3);
+        assert_eq!(CommEffSignedDriver.max_faults(10), 3);
+        assert_eq!(ResilientSignedDriver.max_faults(10), 3);
         assert_eq!(AuthWrapperDriver.max_faults(10), 4);
         assert_eq!(TruncatedDolevStrongDriver.max_faults(10), 4);
         assert_eq!(UnauthWrapperDriver.max_faults(0), 0);

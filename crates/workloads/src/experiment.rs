@@ -15,8 +15,9 @@
 //! prediction-free baselines, and any future driver.
 
 use crate::driver::{
-    k_a_from_probes, AuthWrapperDriver, CommEffDriver, PhaseKingDriver, ProtocolDriver,
-    ResilientDriver, SessionSpec, TruncatedDolevStrongDriver, UnauthWrapperDriver,
+    k_a_from_probes, AuthWrapperDriver, CommEffDriver, CommEffSignedDriver, PhaseKingDriver,
+    ProtocolDriver, ResilientDriver, ResilientSignedDriver, SessionSpec,
+    TruncatedDolevStrongDriver, UnauthWrapperDriver,
 };
 use crate::generators::{self, ErrorPlacement, FaultIds};
 use crate::json::{JsonObject, ToJson};
@@ -31,7 +32,10 @@ pub use crate::adversaries::LiarStyle;
 /// headline bound); `CommEff` is the communication-efficient
 /// prediction pipeline of the Dzulfikar–Gilbert follow-up; `Resilient`
 /// is the gracefully-degrading prediction pipeline of the Dallot et al.
-/// follow-up.
+/// follow-up; `CommEffSigned` and `ResilientSigned` are their signed
+/// variants — the same protocols over the [`ba_crypto::Signed`]
+/// envelope, trading signature bytes for the removal of each family's
+/// documented equivocation conditionality.
 ///
 /// Marked `#[non_exhaustive]`: this is the extension seam (sharded and
 /// batched execution modes are the open directions), so downstream
@@ -60,6 +64,15 @@ pub enum Pipeline {
     /// rounds cost one phase per faulty identifier the error budget
     /// promotes, instead of cliff-switching lanes (`t < n/3`).
     Resilient,
+    /// The signed communication-efficient pipeline: signed
+    /// submit/report/ack plus a transferable, echoed certify
+    /// certificate, so an equivocating aggregator can no longer split
+    /// the fast/fallback decision (`t < n/3`).
+    CommEffSigned,
+    /// The signed resilient pipeline: signed, echoed classifications
+    /// with equivocation conviction make the honest suspicion views
+    /// agree — `t + 2` phases, no rotation suffix (`t < n/3`).
+    ResilientSigned,
 }
 
 impl Pipeline {
@@ -69,13 +82,15 @@ impl Pipeline {
     /// variant without growing this constant fails to compile (the
     /// match) and then fails `pipeline_all_is_exhaustive` (the array),
     /// so sweeps can never silently skip a pipeline.
-    pub const ALL: [Pipeline; 6] = [
+    pub const ALL: [Pipeline; 8] = [
         Pipeline::Unauth,
         Pipeline::Auth,
         Pipeline::PhaseKing,
         Pipeline::TruncatedDolevStrong,
         Pipeline::CommEff,
         Pipeline::Resilient,
+        Pipeline::CommEffSigned,
+        Pipeline::ResilientSigned,
     ];
 
     /// This pipeline's index in [`Pipeline::ALL`].
@@ -92,6 +107,8 @@ impl Pipeline {
             Pipeline::TruncatedDolevStrong => 3,
             Pipeline::CommEff => 4,
             Pipeline::Resilient => 5,
+            Pipeline::CommEffSigned => 6,
+            Pipeline::ResilientSigned => 7,
         }
     }
 
@@ -104,6 +121,8 @@ impl Pipeline {
             Pipeline::TruncatedDolevStrong => &TruncatedDolevStrongDriver,
             Pipeline::CommEff => &CommEffDriver,
             Pipeline::Resilient => &ResilientDriver,
+            Pipeline::CommEffSigned => &CommEffSignedDriver,
+            Pipeline::ResilientSigned => &ResilientSignedDriver,
         }
     }
 
@@ -116,9 +135,12 @@ impl Pipeline {
     /// comparison table ([`crate::tables::driver_table`]).
     pub const fn resilience_shape(self) -> &'static str {
         match self {
-            Pipeline::Unauth | Pipeline::PhaseKing | Pipeline::CommEff | Pipeline::Resilient => {
-                "3t < n"
-            }
+            Pipeline::Unauth
+            | Pipeline::PhaseKing
+            | Pipeline::CommEff
+            | Pipeline::Resilient
+            | Pipeline::CommEffSigned
+            | Pipeline::ResilientSigned => "3t < n",
             Pipeline::Auth | Pipeline::TruncatedDolevStrong => "2t < n",
         }
     }
@@ -132,6 +154,8 @@ impl Pipeline {
             Pipeline::TruncatedDolevStrong => "t + 1",
             Pipeline::CommEff => "5 fast / O(t) fallback",
             Pipeline::Resilient => "O(promoted(B) + 1), ≤ 2t + 3 phases",
+            Pipeline::CommEffSigned => "6 fast / O(t) fallback, uniform lane",
+            Pipeline::ResilientSigned => "O(promoted(B) + 1), ≤ t + 2 phases",
         }
     }
 
@@ -144,6 +168,8 @@ impl Pipeline {
             Pipeline::TruncatedDolevStrong => "Ω(n²) chain batches",
             Pipeline::CommEff => "Θ(n·f̂) fast lane",
             Pipeline::Resilient => "O((promoted(B) + 1)·n²)",
+            Pipeline::CommEffSigned => "O(n³) certificate echo",
+            Pipeline::ResilientSigned => "O(n³) signed exchange",
         }
     }
 }
@@ -599,6 +625,69 @@ mod tests {
             assert!(out.agreement, "{style:?} broke agreement");
             assert!(out.rounds.is_some(), "{style:?} broke liveness");
         }
+    }
+
+    #[test]
+    fn comm_eff_signed_experiment_end_to_end() {
+        let cfg = ExperimentConfig::new(16, 5, 2, 0, Pipeline::CommEffSigned);
+        let out = cfg.run();
+        assert!(out.agreement, "perfect predictions, silent faults");
+        assert!(out.validity_ok);
+        assert_eq!(out.rounds, Some(5), "6-round signed fast lane");
+        assert_eq!(out.k_a, 0, "raw predictions are the probe surface");
+        assert!(out.bytes > 0 && out.bytes <= out.bytes_total);
+        // Same workload unsigned: the signed run pays signature bytes.
+        let unsigned = cfg.with_pipeline(Pipeline::CommEff).run();
+        assert!(
+            out.bytes_total > unsigned.bytes_total,
+            "signatures must cost bytes ({} vs {})",
+            out.bytes_total,
+            unsigned.bytes_total
+        );
+    }
+
+    #[test]
+    fn resilient_signed_experiment_end_to_end() {
+        let cfg = ExperimentConfig::new(16, 5, 2, 0, Pipeline::ResilientSigned);
+        let out = cfg.run();
+        assert!(out.agreement, "perfect predictions, silent faults");
+        assert!(out.validity_ok);
+        assert_eq!(out.k_a, 0, "aggregated classification is the probe");
+        assert!(
+            out.rounds.expect("decided") <= 2 + 2 * 5 + 1,
+            "trusted throne order decides in the first phases"
+        );
+        let unsigned = cfg.with_pipeline(Pipeline::Resilient).run();
+        assert!(
+            out.bytes_total > unsigned.bytes_total,
+            "the signed, echoed exchange must cost bytes ({} vs {})",
+            out.bytes_total,
+            unsigned.bytes_total
+        );
+    }
+
+    #[test]
+    fn signed_pipelines_survive_every_liar_style() {
+        // Only the signed resilient family has a classification round
+        // to lie in; for the signed committee pipeline every liar
+        // style degrades to silence (see the driver docs), so one
+        // representative case suffices there.
+        for style in [
+            LiarStyle::AllOnes,
+            LiarStyle::AllZeros,
+            LiarStyle::Inverted,
+            LiarStyle::RandomPerRecipient,
+        ] {
+            let cfg = ExperimentConfig::new(16, 5, 3, 10, Pipeline::ResilientSigned)
+                .with_adversary(AdversaryKind::ClassifyLiar(style));
+            let out = cfg.run();
+            assert!(out.agreement, "{style:?} broke agreement");
+            assert!(out.rounds.is_some(), "{style:?} broke liveness");
+        }
+        let commeff = ExperimentConfig::new(16, 5, 3, 10, Pipeline::CommEffSigned)
+            .with_adversary(AdversaryKind::ClassifyLiar(LiarStyle::AllZeros));
+        let out = commeff.run();
+        assert!(out.agreement && out.rounds.is_some());
     }
 
     #[test]

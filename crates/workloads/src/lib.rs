@@ -43,11 +43,12 @@ pub mod par;
 pub mod sweep;
 pub mod tables;
 
-pub use adversaries::{ClassifyLiar, LiarStyle};
+pub use adversaries::{ClassifyLiar, LiarStyle, SignedCertEquivocator};
 pub use disruptor::{AuthDisruptor, UnauthDisruptor};
 pub use driver::{
-    k_a_from_probes, AuthWrapperDriver, CommEffDriver, PhaseKingDriver, ProtocolDriver,
-    ResilientDriver, SessionSpec, TruncatedDolevStrongDriver, UnauthWrapperDriver,
+    k_a_from_probes, AuthWrapperDriver, CommEffDriver, CommEffSignedDriver, PhaseKingDriver,
+    ProtocolDriver, ResilientDriver, ResilientSignedDriver, SessionSpec,
+    TruncatedDolevStrongDriver, UnauthWrapperDriver,
 };
 pub use experiment::{
     AdversaryKind, ExperimentBuilder, ExperimentConfig, ExperimentOutcome, FaultPlacement,

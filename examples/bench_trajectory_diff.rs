@@ -1,7 +1,5 @@
-//! Warn-only benchmark-trajectory diffing: compare a freshly produced
-//! sweep grid against the committed `BENCH_baseline.json`, so perf
-//! drift across commits is *visible* in CI logs before it is ever a
-//! gate.
+//! Benchmark-trajectory regression gate: compare a freshly produced
+//! sweep grid against the committed `BENCH_baseline.json`.
 //!
 //! ```sh
 //! cargo run --release --example bench_trajectory_diff                # regenerate + diff
@@ -11,8 +9,17 @@
 //!
 //! Cells are keyed by `(pipeline, n, f, budget)`; for each key present
 //! in both files the summaries are compared field by field, and added /
-//! removed cells are listed. The exit code is always 0 — this is a
-//! trajectory report, not (yet) a regression gate; see ROADMAP.
+//! removed cells are listed. The watched cells — rounds, message and
+//! byte counts, agreement/validity, `k_A` — are **deterministic**
+//! (seed-exact simulation), so any drift is a real behaviour change
+//! and the diff exits non-zero: this is a failing regression gate, per
+//! the ROADMAP's "grow the diff into a regression gate" item. Wall
+//! time is deliberately not in the grid, so timing noise cannot trip
+//! the gate (it stays warn-only territory, reported by the bench
+//! harnesses instead). A missing baseline file only warns, so ad-hoc
+//! checkouts without the committed baseline still run. Refresh the
+//! baseline alongside intended changes with
+//! `cargo run --release --example sweep_grid_json BENCH_baseline.json`.
 
 use ba_predictions::prelude::*;
 
@@ -143,10 +150,11 @@ fn main() {
         );
     } else {
         println!(
-            "trajectory drift in {drifted}/{} cells vs {baseline_path} (warn-only; refresh the \
-             baseline with `cargo run --release --example sweep_grid_json BENCH_baseline.json` \
-             if the drift is intended)",
+            "FAIL: trajectory drift in {drifted}/{} cells vs {baseline_path} — the watched cells \
+             are deterministic, so this is a real behaviour change; refresh the baseline with \
+             `cargo run --release --example sweep_grid_json BENCH_baseline.json` if it is intended",
             fresh_map.len()
         );
+        std::process::exit(1);
     }
 }

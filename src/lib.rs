@@ -26,8 +26,8 @@
 //! | [`ba_unauth`] | Algorithms 3, 4, 5 (§7) |
 //! | [`ba_auth`] | committee certificates, message chains, Algorithms 6, 7 (§8) |
 //! | [`ba_early`] | early-stopping substrates (S4, S5) and prediction-free baselines |
-//! | [`ba_commeff`] | communication-efficient BA with predictions (Dzulfikar–Gilbert follow-up) |
-//! | [`ba_resilient`] | gracefully-degrading BA with predictions (Dallot et al. follow-up) |
+//! | [`ba_commeff`] | communication-efficient BA with predictions (Dzulfikar–Gilbert follow-up), unsigned + signed-certify variants |
+//! | [`ba_resilient`] | gracefully-degrading BA with predictions (Dallot et al. follow-up), unsigned + signed-classification variants |
 //! | [`ba_core`] | predictions, Algorithm 2, `π(c)` orderings, the Algorithm 1 wrapper |
 //! | [`ba_workloads`] | generators, adversary gallery, `ProtocolDriver` experiment harness, parallel sweeps, lower bounds |
 //!
@@ -40,7 +40,7 @@
 //! builds, executes, and measures the type-erased session identically
 //! for all of them: rounds, honest messages, and honest bytes
 //! ([`WireSize`](ba_sim::WireSize) accounting), so communication-vs-
-//! rounds trade-offs are comparable across families. Six families
+//! rounds trade-offs are comparable across families. Eight families
 //! ship; the authoritative comparison table is rendered live by
 //! [`driver_table`](ba_workloads::driver_table) (it iterates
 //! `Pipeline::ALL` and the shape strings it prints, so it cannot rot —
@@ -54,12 +54,24 @@
 //! | `TruncatedDolevStrong` baseline (`2t < n`) | ignored | `t + 1` | `Ω(n²)` chain batches |
 //! | `CommEff` (Dzulfikar–Gilbert, `3t < n`) | yes | 5 fast / `O(t)` fallback | `Θ(n·f̂)` fast lane |
 //! | `Resilient` (Dallot et al., `3t < n`) | yes | `O(promoted(B) + 1)`, ≤ `2t + 3` phases | `O((promoted(B) + 1)·n²)` |
+//! | `CommEffSigned` (`3t < n`) | yes | 6 fast / `O(t)` fallback, uniform lane | `O(n³)` certificate echo |
+//! | `ResilientSigned` (`3t < n`) | yes | `O(promoted(B) + 1)`, ≤ `t + 2` phases | `O(n³)` signed exchange |
 //!
 //! The two lanes of the trade-off space: `CommEff` buys *communication*
 //! and pays a fallback cliff when the hints betray it; `Resilient` buys
 //! *round* degradation proportional to the realized error — each faulty
 //! identifier the budget promotes up its suspicion-ordered throne
-//! schedule costs exactly one stalled phase — and never cliffs.
+//! schedule costs exactly one stalled phase — and never cliffs. Both
+//! are *conditional* on faulty processes not splitting honest views;
+//! their signed variants buy the condition off with
+//! [`Signed`](ba_crypto::Signed) envelopes (exactly 20 bytes per
+//! signature in the [`WireSize`](ba_sim::WireSize) model — see the
+//! `ba_sim` wire-module docs): `CommEffSigned` makes the fast/fallback
+//! choice uniform under full signature equivocation (transferable,
+//! echoed certify certificates), and `ResilientSigned` makes the
+//! honest suspicion views agree (echoed signed classifications,
+//! equivocators convicted by their own signatures), shrinking the
+//! phase budget from `2t + 3` to `t + 2` with no rotation suffix.
 //! Configurations are built fluently
 //! ([`ExperimentConfig::builder`](ba_workloads::ExperimentConfig::builder),
 //! `with_*` combinators); multi-config comparisons run in parallel via
@@ -114,7 +126,7 @@ pub mod prelude {
         driver_table, faults, grid_to_json, message_lower_bound, predictions_with_budget,
         round_lower_bound, sweep_grid, sweep_seeds, AdversaryKind, ErrorPlacement,
         ExperimentBuilder, ExperimentConfig, ExperimentOutcome, FaultPlacement, GridPoint,
-        InputPattern, Pipeline, ProtocolDriver, SessionSpec, SweepGrid, SweepSummary, Table,
-        ToJson,
+        InputPattern, LiarStyle, Pipeline, ProtocolDriver, SessionSpec, SweepGrid, SweepSummary,
+        Table, ToJson,
     };
 }

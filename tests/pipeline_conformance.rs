@@ -281,11 +281,194 @@ fn resilient_communication_is_quadratic_shaped_above_the_floor() {
 }
 
 #[test]
+fn signed_comm_eff_keeps_a_uniform_lane_choice_under_full_equivocation() {
+    // The signed certify contract at scale: under the full
+    // signature-equivocation menu (forged tags, replayed honest
+    // signatures, conflicting own-key reports, withheld genuine
+    // certificates — the `Disruptor` mapping), every honest process
+    // must make the *same* lane choice. A split would strand the
+    // fallback half below quorum and show up as lost liveness — which
+    // is exactly how the unsigned variant's pinned split manifests —
+    // so agreement + liveness here prove uniformity. With accurate
+    // predictions the committee is honest and the equivocator is fully
+    // neutralized: the fast lane must conclude on schedule.
+    for n in [16usize, 32, 64] {
+        for (budget, seed) in [(0usize, 0u64), (0, 1), (n, 0), (n, 1)] {
+            let out = ExperimentConfig::builder()
+                .n(n)
+                .faults(2, FaultPlacement::Spread)
+                .budget(budget, ErrorPlacement::Uniform)
+                .pipeline(Pipeline::CommEffSigned)
+                .inputs(InputPattern::Unanimous(7))
+                .adversary(AdversaryKind::Disruptor)
+                .seed(seed)
+                .build()
+                .run();
+            assert!(
+                out.agreement,
+                "signed comm-eff broke agreement at n = {n}, B = {budget} (seed {seed})"
+            );
+            assert!(
+                out.validity_ok,
+                "signed comm-eff broke unanimity at n = {n}, B = {budget} (seed {seed})"
+            );
+            assert!(
+                out.rounds.is_some(),
+                "a split lane choice loses liveness; none allowed at n = {n}, B = {budget}"
+            );
+            if budget == 0 {
+                assert_eq!(
+                    out.rounds,
+                    Some(5),
+                    "accurate predictions neutralize the equivocator: uniform *fast* lane at n = {n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn signed_resilient_agrees_within_t_plus_two_phases_with_no_suffix() {
+    // The signed classification-exchange contract at scale: under the
+    // per-recipient signature equivocator and the signed schedule-aware
+    // disruptor alike, the suffix-free `t + 2`-phase budget must
+    // suffice — the unsigned variant needs up to `2t + 3` phases for
+    // the same liveness. The driver's round budget *is* the suffix-free
+    // schedule, so deciding at all proves the claim; the explicit bound
+    // is asserted on top for clarity.
+    for n in [16usize, 32, 64] {
+        let t = (n - 1) / 3;
+        let signed_budget = 2 + 5 * (t as u64 + 2) + 2;
+        for adversary in [
+            AdversaryKind::ClassifyLiar(LiarStyle::RandomPerRecipient),
+            AdversaryKind::Disruptor,
+        ] {
+            for seed in 0..2 {
+                let out = ExperimentConfig::builder()
+                    .n(n)
+                    .faults(4, FaultPlacement::Spread)
+                    .budget(n, ErrorPlacement::Uniform)
+                    .pipeline(Pipeline::ResilientSigned)
+                    .inputs(InputPattern::Unanimous(7))
+                    .adversary(adversary)
+                    .seed(seed)
+                    .build()
+                    .run();
+                assert!(
+                    out.agreement,
+                    "signed resilient broke agreement at n = {n} under {adversary:?} (seed {seed})"
+                );
+                assert!(
+                    out.validity_ok,
+                    "signed resilient broke unanimity at n = {n} under {adversary:?} (seed {seed})"
+                );
+                let rounds = out.rounds.unwrap_or_else(|| {
+                    panic!("signed resilient lost liveness at n = {n} under {adversary:?}")
+                });
+                assert!(
+                    rounds <= signed_budget,
+                    "n = {n}: decided at round {rounds}, beyond the suffix-free \
+                     t + 2 = {} phase budget ({signed_budget} rounds)",
+                    t + 2
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn signed_pipelines_pay_exactly_the_per_message_signature_model() {
+    // Per message kind, signed = unsigned + the 20-byte signature — no
+    // hidden framing anywhere in the signed envelope.
+    use ba_predictions::ba_commeff::signed::{AckBody, ReportBody, SubmitBody};
+    use ba_predictions::ba_commeff::{CommEffMsg, CommEffSignedMsg};
+    use ba_predictions::ba_crypto::{Pki, Signed};
+    use ba_predictions::ba_resilient::signed::ClassifyBody;
+    use ba_predictions::ba_resilient::{ResilientMsg, ResilientSignedMsg};
+    use ba_predictions::prelude::WireSize;
+    use std::sync::Arc;
+
+    let pki = Pki::new(16, 1);
+    let key = pki.signing_key(0);
+    let sig = 20u64;
+    let pairs: Vec<(u64, u64)> = vec![
+        (
+            CommEffSignedMsg::Submit(Signed::new(SubmitBody { value: Value(3) }, &key))
+                .wire_bytes(),
+            CommEffMsg::Submit(Value(3)).wire_bytes(),
+        ),
+        (
+            CommEffSignedMsg::Report(Signed::new(ReportBody { value: Value(3) }, &key))
+                .wire_bytes(),
+            CommEffMsg::Report(Value(3)).wire_bytes(),
+        ),
+        (
+            CommEffSignedMsg::Ack(Signed::new(
+                AckBody {
+                    value: Value(3),
+                    happy: true,
+                },
+                &key,
+            ))
+            .wire_bytes(),
+            CommEffMsg::Ack {
+                value: Value(3),
+                happy: true,
+            }
+            .wire_bytes(),
+        ),
+        (
+            ResilientSignedMsg::Classify(Arc::new(Signed::new(
+                ClassifyBody {
+                    bits: BitVec::ones(16),
+                },
+                &key,
+            )))
+            .wire_bytes(),
+            ResilientMsg::Classify(Arc::new(BitVec::ones(16))).wire_bytes(),
+        ),
+    ];
+    for (signed_bytes, unsigned_bytes) in pairs {
+        assert_eq!(
+            signed_bytes,
+            unsigned_bytes + sig,
+            "signed message kinds must cost exactly the signature more"
+        );
+    }
+    // And at run level: the signed pipelines' totals strictly exceed
+    // their unsigned counterparts' on the same workload (signatures on
+    // every fast-lane/classify message, plus the echo rounds).
+    for (signed, unsigned) in [
+        (Pipeline::CommEffSigned, Pipeline::CommEff),
+        (Pipeline::ResilientSigned, Pipeline::Resilient),
+    ] {
+        let run = |p| conformance_config(p, AdversaryKind::Silent, 0).run();
+        let s = run(signed);
+        let u = run(unsigned);
+        assert!(s.agreement && u.agreement);
+        assert!(
+            s.bytes_total > u.bytes_total,
+            "{signed:?} must out-spend {unsigned:?} in bytes ({} vs {})",
+            s.bytes_total,
+            u.bytes_total
+        );
+    }
+}
+
+#[test]
 fn silent_adversary_never_increases_honest_message_totals() {
     // Silence is the least disruptive execution-scale behaviour: for
     // every pipeline, honest processes must spend at least as many
     // messages (and bytes) against the worst-case disruptor as against
     // silence on the otherwise-identical workload.
+    //
+    // One documented exception: `CommEffSigned`'s *byte* totals. Its
+    // certify certificates carry every happy acknowledgement an
+    // aggregator verified, so an equivocator that sours some
+    // acknowledgements shrinks the certificates (and the echo round)
+    // without changing the round count or the lane choice — honest
+    // bytes can legitimately drop under attack. Message counts still
+    // obey the rule for every family.
     for pipeline in Pipeline::ALL {
         for seed in SEEDS {
             let silent = conformance_config(pipeline, AdversaryKind::Silent, seed).run();
@@ -296,12 +479,14 @@ fn silent_adversary_never_increases_honest_message_totals() {
                 silent.messages_total,
                 disrupted.messages_total
             );
-            assert!(
-                silent.bytes_total <= disrupted.bytes_total,
-                "{pipeline:?} (seed {seed}): silent cost {} bytes, disruptor {}",
-                silent.bytes_total,
-                disrupted.bytes_total
-            );
+            if pipeline != Pipeline::CommEffSigned {
+                assert!(
+                    silent.bytes_total <= disrupted.bytes_total,
+                    "{pipeline:?} (seed {seed}): silent cost {} bytes, disruptor {}",
+                    silent.bytes_total,
+                    disrupted.bytes_total
+                );
+            }
         }
     }
 }
